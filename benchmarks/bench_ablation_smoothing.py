@@ -1,0 +1,67 @@
+"""Ablation: the smoothing penalty (the explainability knob of section 2.2).
+
+"The adversary should only introduce changes to the environment if these
+trigger bad behavior and avoid injecting unnecessary noise.  This is
+captured in our framework by penalizing the adversary for non-smoothness."
+
+Expectation: raising the smoothing weight yields materially smoother
+(more explainable) adversarial traces, while the targeted damage (QoE
+regret vs the optimum) degrades gracefully rather than vanishing.
+"""
+
+import numpy as np
+from conftest import scaled, tuned_abr_adversary_config, write_results
+
+from repro.abr.protocols import BufferBased, optimal_plan_dp, run_session
+from repro.adversary.abr_env import train_abr_adversary
+from repro.adversary.generation import generate_abr_traces
+from repro.analysis import format_table
+
+WEIGHTS = (0.0, 1.0, 5.0)
+
+
+def run_sweep(video):
+    rows = {}
+    for weight in WEIGHTS:
+        result = train_abr_adversary(
+            BufferBased(),
+            video,
+            total_steps=scaled(40_000),
+            seed=3,
+            config=tuned_abr_adversary_config(),
+            smoothing_weight=weight,
+        )
+        rolls = generate_abr_traces(result.trainer, result.env, 15)
+        smoothness = float(np.mean([r.trace.smoothness() for r in rolls]))
+        regrets = []
+        for roll in rolls:
+            opt, _ = optimal_plan_dp(video, roll.trace.bandwidths_mbps)
+            bb = run_session(video, roll.trace, BufferBased(), chunk_indexed=True)
+            regrets.append((opt - bb.qoe_total) / video.n_chunks)
+        rows[weight] = {
+            "smoothness": smoothness,
+            "regret": float(np.mean(regrets)),
+            "target_qoe": float(np.mean([r.target_qoe_mean for r in rolls])),
+        }
+    return rows
+
+
+def test_ablation_smoothing_weight(benchmark, video48):
+    rows = benchmark.pedantic(run_sweep, args=(video48,), rounds=1, iterations=1)
+
+    table = format_table(
+        ["smoothing weight", "trace smoothness (Mbps/step)", "per-chunk regret", "BB QoE"],
+        [[w, rows[w]["smoothness"], rows[w]["regret"], rows[w]["target_qoe"]]
+         for w in WEIGHTS],
+    )
+    text = "Ablation -- smoothing penalty weight (ABR adversary vs BB)\n\n" + table + "\n"
+    write_results("ablation_smoothing", text)
+    print("\n" + text)
+
+    # Heavier penalties must yield smoother traces...
+    assert rows[5.0]["smoothness"] < rows[0.0]["smoothness"]
+    # ... while the adversary still extracts meaningful regret.
+    assert rows[5.0]["regret"] > 0.2
+    benchmark.extra_info["smoothness_by_weight"] = {
+        str(w): rows[w]["smoothness"] for w in WEIGHTS
+    }

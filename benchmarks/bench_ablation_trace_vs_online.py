@@ -1,0 +1,75 @@
+"""Ablation: trace-based vs online adversary (the section-2.1 discussion).
+
+The paper argues a trace-based adversary "might result in a very long
+training process since each trace constitutes only a single data point"
+and therefore uses online adversaries.  With an equal step budget, the
+online adversary should extract more damage from the target.
+"""
+
+import numpy as np
+from conftest import scaled, tuned_abr_adversary_config, write_results
+
+from repro.abr.protocols import BufferBased, optimal_plan_dp, run_session
+from repro.adversary.abr_env import train_abr_adversary
+from repro.adversary.generation import generate_abr_traces
+from repro.adversary.trace_adversary import TraceAdversaryEnv
+from repro.analysis import format_table
+from repro.rl.ppo import PPO
+from repro.traces.trace import Trace
+
+
+def regret_of_traces(video, traces):
+    regrets = []
+    for trace in traces:
+        opt, _ = optimal_plan_dp(video, trace.bandwidths_mbps[: video.n_chunks])
+        bb = run_session(video, trace, BufferBased(), chunk_indexed=True)
+        regrets.append((opt - bb.qoe_total) / video.n_chunks)
+    return float(np.mean(regrets))
+
+
+def run_comparison(video, budget):
+    # Online adversary.
+    online = train_abr_adversary(
+        BufferBased(), video, total_steps=budget, seed=4,
+        config=tuned_abr_adversary_config(),
+    )
+    online_traces = [
+        r.trace for r in generate_abr_traces(online.trainer, online.env, 10)
+    ]
+
+    # Trace-based adversary: same budget, sparse end-of-trace reward.
+    env = TraceAdversaryEnv(BufferBased(), video)
+    trainer = PPO(env, tuned_abr_adversary_config(), seed=4)
+    trainer.learn(budget)
+    trace_based_traces = []
+    for _ in range(10):
+        obs = env.reset()
+        done = False
+        while not done:
+            obs, _r, done, _i = env.step(trainer.predict(obs, deterministic=False))
+        trace_based_traces.append(env.build_trace())
+
+    return {
+        "online": regret_of_traces(video, online_traces),
+        "trace-based": regret_of_traces(video, trace_based_traces),
+    }
+
+
+def test_ablation_trace_vs_online(benchmark, video48):
+    budget = scaled(40_000)
+    regrets = benchmark.pedantic(run_comparison, args=(video48, budget),
+                                 rounds=1, iterations=1)
+    table = format_table(
+        ["formulation", "per-chunk regret extracted (same budget)"],
+        [[name, value] for name, value in regrets.items()],
+    )
+    text = (
+        f"Ablation -- trace-based vs online adversary ({budget} steps each)\n\n"
+        + table + "\n"
+    )
+    write_results("ablation_trace_vs_online", text)
+    print("\n" + text)
+
+    # The paper's design rationale: online trains faster per step.
+    assert regrets["online"] > regrets["trace-based"]
+    benchmark.extra_info.update(regrets)

@@ -1,0 +1,59 @@
+"""Ablation: PPO vs REINFORCE as the adversary's trainer.
+
+The paper trains with PPO ("with the default arguments of the
+stable-baselines implementation").  This ablation shows the framework is
+trainer-agnostic, and quantifies what PPO's clipped updates buy over
+vanilla policy gradient at an equal step budget.
+"""
+
+import numpy as np
+from conftest import scaled, tuned_abr_adversary_config, write_results
+
+from repro.abr.protocols import BufferBased
+from repro.abr.video import Video
+from repro.adversary.abr_env import AbrAdversaryEnv
+from repro.analysis import format_table
+from repro.rl.ppo import PPO
+from repro.rl.reinforce import Reinforce, ReinforceConfig
+
+
+def final_reward(history, k=5):
+    return float(np.mean([h["mean_episode_reward"] for h in history[-k:]]))
+
+
+def run_trainers(video, budget):
+    ppo_env = AbrAdversaryEnv(BufferBased(), video)
+    ppo = PPO(ppo_env, tuned_abr_adversary_config(), seed=6)
+    ppo_history = ppo.learn(budget)
+
+    pg_env = AbrAdversaryEnv(BufferBased(), video)
+    pg_cfg = ReinforceConfig(
+        episodes_per_update=8,
+        max_episode_steps=video.n_chunks,
+        learning_rate=5e-4,
+        hidden=(32, 16),
+    )
+    pg = Reinforce(pg_env, pg_cfg, seed=6)
+    pg_history = pg.learn(budget)
+    return {
+        "ppo": final_reward(ppo_history),
+        "reinforce": final_reward(pg_history),
+    }
+
+
+def test_ablation_trainers(benchmark, video48):
+    budget = scaled(40_000)
+    rewards = benchmark.pedantic(run_trainers, args=(video48, budget),
+                                 rounds=1, iterations=1)
+    table = format_table(
+        ["trainer", "final adversary episode reward"],
+        [[name, value] for name, value in rewards.items()],
+    )
+    text = f"Ablation -- adversary trainer ({budget} steps each, vs BB)\n\n" + table + "\n"
+    write_results("ablation_trainers", text)
+    print("\n" + text)
+
+    # Both must learn a real attack (positive regret-based reward)...
+    assert rewards["ppo"] > 0
+    assert rewards["reinforce"] > 0
+    benchmark.extra_info.update(rewards)

@@ -1,0 +1,59 @@
+"""Figure 1: QoE CDFs of pensieve / mpc / bb on three trace corpora.
+
+(a) traces from an adversary trained against MPC,
+(b) traces from an adversary trained against Pensieve,
+(c) uniformly random traces over the same action space.
+
+Shape claims reproduced: the targeted protocol underperforms the other
+protocol on its own adversarial corpus, while random traces produce no
+such targeted separation.
+"""
+
+import numpy as np
+from conftest import write_results
+
+from repro.analysis import ascii_cdf, format_table
+from repro.experiments import run_abr_cdf_experiment
+
+
+def test_fig1_qoe_cdfs(benchmark, video48, abr_protocols, abr_trace_corpora):
+    # Exact chunk-indexed replay: one recorded bandwidth per chunk
+    # download, reproducing each adversary episode bit-for-bit.  (Wall-
+    # clock replay through the standard simulator smears the attack
+    # across chunk boundaries and can even flip which protocol suffers;
+    # see EXPERIMENTS.md.)
+    experiment = benchmark.pedantic(
+        run_abr_cdf_experiment,
+        args=(video48, abr_trace_corpora, abr_protocols),
+        kwargs={"ratio_pairs": [], "chunk_indexed": True},
+        rounds=1,
+        iterations=1,
+    )
+
+    lines = ["Figure 1 -- per-video QoE CDFs (mean QoE per chunk)\n"]
+    means = {}
+    for corpus_name, proto_qoe in experiment.qoe.items():
+        lines.append(f"--- ({corpus_name}) ---")
+        lines.append(ascii_cdf(proto_qoe, x_label="QoE"))
+        rows = [
+            [name, float(np.mean(q)), float(np.median(q)), float(np.min(q))]
+            for name, q in proto_qoe.items()
+        ]
+        lines.append(format_table(["protocol", "mean", "median", "min"], rows))
+        lines.append("")
+        means[corpus_name] = {name: float(np.mean(q)) for name, q in proto_qoe.items()}
+
+    # Shape assertions (paper, section 3.1): the adversary sabotages the
+    # *targeted* protocol, not the network as a whole.
+    assert means["anti-mpc"]["mpc"] < means["anti-mpc"]["pensieve"]
+    assert means["anti-pensieve"]["pensieve"] < means["anti-pensieve"]["mpc"]
+    # On random traces there is no targeted gap of that kind: the
+    # adversarial gap must exceed the corresponding random-trace gap.
+    random_gap_mpc = means["random"]["pensieve"] - means["random"]["mpc"]
+    adv_gap_mpc = means["anti-mpc"]["pensieve"] - means["anti-mpc"]["mpc"]
+    assert adv_gap_mpc > random_gap_mpc
+
+    benchmark.extra_info["means"] = means
+    text = "\n".join(lines)
+    write_results("fig1_abr_cdfs", text)
+    print("\n" + text)

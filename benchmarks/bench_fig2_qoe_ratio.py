@@ -1,0 +1,102 @@
+"""Figure 2: how much better the non-targeted protocol fares per corpus.
+
+Paper numbers: on anti-MPC traces Pensieve achieves 2.55x MPC's QoE; on
+anti-Pensieve traces MPC achieves 1.38x Pensieve's; the targeted protocol
+is worse in over 75% of traces; random traces show much weaker separation.
+
+Our adversaries (trained in exact per-chunk-download semantics and
+replayed the same way) drive the targeted protocol's QoE negative, where
+ratios lose meaning; we therefore report the paper's ratio columns where
+QoE is positive and use two scale-robust statistics for the assertions:
+the mean QoE *gap* (other - targeted) and the fraction of traces in which
+the non-targeted protocol wins.
+"""
+
+import numpy as np
+from conftest import write_results
+
+from repro.analysis import format_table
+from repro.experiments import run_abr_cdf_experiment
+
+RATIO_PAIRS = [
+    # (other, targeted, corpus) -- matching the paper's four bars.
+    ("pensieve", "mpc", "anti-mpc"),
+    ("mpc", "pensieve", "anti-pensieve"),
+    ("pensieve", "mpc", "random"),
+    ("mpc", "pensieve", "random"),
+]
+
+PAPER_MAX_RATIO = {
+    ("pensieve", "mpc", "anti-mpc"): 2.55,
+    ("mpc", "pensieve", "anti-pensieve"): 1.38,
+}
+
+
+def test_fig2_qoe_ratios(benchmark, video48, abr_protocols, abr_trace_corpora):
+    experiment = benchmark.pedantic(
+        run_abr_cdf_experiment,
+        args=(video48, abr_trace_corpora, abr_protocols),
+        kwargs={"ratio_pairs": RATIO_PAIRS, "chunk_indexed": True},
+        rounds=1,
+        iterations=1,
+    )
+
+    def stats(other, targeted, corpus):
+        other_q = np.asarray(experiment.qoe[corpus][other])
+        targeted_q = np.asarray(experiment.qoe[corpus][targeted])
+        gap = float(np.mean(other_q - targeted_q))
+        frac = float(np.mean(other_q > targeted_q))
+        return gap, frac
+
+    rows = []
+    for key in RATIO_PAIRS:
+        other, targeted, corpus = key
+        summary = experiment.ratios[key]
+        gap, frac = stats(other, targeted, corpus)
+        positive = min(np.min(experiment.qoe[corpus][other]),
+                       np.min(experiment.qoe[corpus][targeted])) > 0
+        rows.append(
+            [
+                f"{other}/{targeted}",
+                corpus,
+                gap,
+                frac,
+                summary.mean if positive else float("nan"),
+                summary.max if positive else float("nan"),
+                PAPER_MAX_RATIO.get(key, "-"),
+            ]
+        )
+    table = format_table(
+        ["pair", "corpus", "mean QoE gap", "frac other wins",
+         "ratio mean (if QoE>0)", "ratio max (if QoE>0)", "paper ratio"],
+        rows,
+    )
+    text = (
+        "Figure 2 -- advantage of the non-targeted protocol, per corpus\n\n"
+        + table + "\n"
+    )
+    write_results("fig2_qoe_ratio", text)
+    print("\n" + text)
+
+    gap_anti_mpc, frac_anti_mpc = stats("pensieve", "mpc", "anti-mpc")
+    gap_anti_pen, frac_anti_pen = stats("mpc", "pensieve", "anti-pensieve")
+    gap_rand_mpc, frac_rand_mpc = stats("pensieve", "mpc", "random")
+    gap_rand_pen, frac_rand_pen = stats("mpc", "pensieve", "random")
+
+    # The adversary flips the matchup toward the non-targeted protocol
+    # (paper: 2.55x / 1.38x)...
+    assert gap_anti_mpc > 0.0
+    assert gap_anti_pen > 0.0
+    # ... in well over half the traces (paper: >75%)...
+    assert frac_anti_mpc > 0.55
+    assert frac_anti_pen > 0.55
+    # ... and far more strongly than random traces manage.
+    assert gap_anti_mpc > gap_rand_mpc
+    assert gap_anti_pen > gap_rand_pen
+    assert frac_anti_mpc > frac_rand_mpc
+    assert frac_anti_pen > frac_rand_pen
+
+    benchmark.extra_info["anti_mpc_gap"] = gap_anti_mpc
+    benchmark.extra_info["anti_pensieve_gap"] = gap_anti_pen
+    benchmark.extra_info["anti_mpc_frac"] = frac_anti_mpc
+    benchmark.extra_info["anti_pensieve_frac"] = frac_anti_pen

@@ -1,0 +1,85 @@
+"""Figure 3: the adversary exposes buffer-based rate adaptation's weakness.
+
+The adversary trained against BB produces a trace that parks the client
+buffer inside BB's switching band, forcing constant bitrate oscillation;
+the offline optimum on the same trace starts low and climbs smoothly.
+"""
+
+import numpy as np
+from conftest import write_results
+
+from repro.adversary.generation import rollout_abr_adversary
+from repro.analysis import ascii_timeseries, format_table
+from repro.experiments import run_bb_weakness_experiment
+from repro.traces.random_traces import random_abr_traces
+from repro.abr.protocols import BufferBased, run_session
+
+
+def pick_most_oscillating_trace(adversary, n=8):
+    """Roll the adversary several times; keep the most BB-hostile trace."""
+    best = None
+    for _ in range(n):
+        roll = rollout_abr_adversary(adversary.trainer, adversary.env, name="anti-bb")
+        if best is None or roll.target_qoe_mean < best.target_qoe_mean:
+            best = roll
+    return best.trace
+
+
+def test_fig3_bb_on_adversarial_trace(benchmark, video48, adversary_vs_bb):
+    trace = pick_most_oscillating_trace(adversary_vs_bb)
+    bb = BufferBased()
+    experiment = benchmark.pedantic(
+        run_bb_weakness_experiment,
+        args=(video48, trace, bb),
+        rounds=1,
+        iterations=1,
+    )
+
+    lines = ["Figure 3 -- BB on an adversarial trace (vs offline optimum)\n"]
+    lines.append("BB bitrate selection (kbps):")
+    lines.append(ascii_timeseries(experiment.bb_bitrates_kbps, label="chunk index ->"))
+    lines.append("client buffer (seconds):")
+    lines.append(ascii_timeseries(experiment.bb_buffers_s, label="chunk index ->"))
+    lines.append("adversary bandwidth (Mbps):")
+    lines.append(ascii_timeseries(trace.bandwidths_mbps, label="chunk index ->"))
+    lines.append("offline optimum bitrate (kbps):")
+    lines.append(ascii_timeseries(experiment.optimal_bitrates_kbps, label="chunk index ->"))
+    lines.append("")
+    lines.append(
+        format_table(
+            ["metric", "bb", "offline optimum"],
+            [
+                ["QoE (total)", experiment.bb_qoe_total, experiment.optimal_qoe_total],
+                ["bitrate switches", experiment.bb_switches, experiment.optimal_switches],
+            ],
+        )
+    )
+    lines.append(
+        f"\nfraction of time buffer inside BB's switching band "
+        f"{bb.switching_band}: {experiment.fraction_in_switching_band:.2f}"
+    )
+
+    # Baseline: BB on random traces oscillates much less.
+    random_switches = []
+    for rt in random_abr_traces(10, seed=5, n_segments=48):
+        result = run_session(video48, rt, BufferBased(), chunk_indexed=True)
+        random_switches.append(int(np.count_nonzero(np.diff(result.bitrates_kbps))))
+    lines.append(
+        f"BB switches: adversarial {experiment.bb_switches} vs random traces "
+        f"mean {np.mean(random_switches):.1f}"
+    )
+
+    # Shape assertions: the optimum dominates, with far fewer switches,
+    # and the adversary keeps the buffer in the switching band more than
+    # chance would.
+    assert experiment.optimal_qoe_total > experiment.bb_qoe_total
+    assert experiment.optimal_switches < experiment.bb_switches
+    assert experiment.bb_switches >= np.mean(random_switches)
+    assert experiment.fraction_in_switching_band > 0.3
+
+    benchmark.extra_info["bb_qoe"] = experiment.bb_qoe_total
+    benchmark.extra_info["opt_qoe"] = experiment.optimal_qoe_total
+    benchmark.extra_info["bb_switches"] = experiment.bb_switches
+    text = "\n".join(lines)
+    write_results("fig3_bb_weakness", text)
+    print("\n" + text)

@@ -1,0 +1,75 @@
+"""Figure 5: BBR's throughput collapses on a 30-second adversarial trace.
+
+Paper claim: the adversary, constrained to Table 1's ranges (all within
+BBR's design envelope), reduces BBR's average throughput to 45-65% of
+link capacity.  Recorded traces replayed against a fresh BBR reproduce
+the damage (the emulator is event-driven, so replays are statistically --
+not bit-for-bit -- identical; section 4).
+"""
+
+import numpy as np
+from conftest import write_results
+
+from repro.analysis import ascii_timeseries, format_table
+from repro.cc.metrics import run_sender_on_trace
+from repro.cc.protocols.bbr import BBRSender
+from repro.experiments import run_bbr_adversarial_experiment
+from repro.traces.random_traces import random_cc_traces
+
+
+def test_fig5_bbr_throughput_collapse(benchmark, cc_adversary_vs_bbr):
+    experiment = benchmark.pedantic(
+        run_bbr_adversarial_experiment,
+        args=(cc_adversary_vs_bbr.trainer, cc_adversary_vs_bbr.env),
+        rounds=1,
+        iterations=1,
+    )
+
+    # Random-trace baseline over the same action space.
+    random_fracs = [
+        run_sender_on_trace(BBRSender(), t, seed=50 + i).capacity_fraction
+        for i, t in enumerate(random_cc_traces(5, seed=3))
+    ]
+
+    # 1-second bins of the Figure 5 series for readability.
+    def binned(series):
+        n = len(series) // 33
+        return [float(np.mean(series[i * 33 : (i + 1) * 33])) for i in range(n)]
+
+    lines = ["Figure 5 -- BBR on a 30 s adversarial trace\n"]
+    lines.append("available bandwidth (Mbps, 1 s bins):")
+    lines.append(ascii_timeseries(binned(experiment.fig5_bandwidth_mbps), label="t ->"))
+    lines.append("BBR throughput (Mbps, 1 s bins):")
+    lines.append(ascii_timeseries(binned(experiment.fig5_throughput_mbps), label="t ->"))
+    lines.append("")
+    replay_fracs = [r.capacity_fraction for r in experiment.replayed]
+    lines.append(
+        format_table(
+            ["run", "capacity fraction"],
+            [["online adversary (mean of 5)", float(np.mean(experiment.online_capacity_fractions))]]
+            + [[f"trace replay {i}", f] for i, f in enumerate(replay_fracs)]
+            + [["random traces (mean of 5)", float(np.mean(random_fracs))]],
+        )
+    )
+    lines.append(
+        "\npaper: adversary reduces BBR to 45-65% of link capacity; "
+        f"measured online: {np.mean(experiment.online_capacity_fractions):.0%}, "
+        f"replayed: {np.mean(replay_fracs):.0%}, random baseline: {np.mean(random_fracs):.0%}"
+    )
+
+    online = float(np.mean(experiment.online_capacity_fractions))
+    replay = float(np.mean(replay_fracs))
+    rand = float(np.mean(random_fracs))
+    # Shape assertions: a real, trace-reproducible attack, clearly below
+    # what random condition churn achieves.
+    assert online < 0.70, "adversary failed to suppress BBR online"
+    assert replay < 0.70, "recorded traces did not reproduce the attack"
+    assert online < rand - 0.1
+    assert rand > 0.55  # random churn alone is not the story
+
+    benchmark.extra_info["online_capacity_fraction"] = online
+    benchmark.extra_info["replay_capacity_fraction"] = replay
+    benchmark.extra_info["random_capacity_fraction"] = rand
+    text = "\n".join(lines)
+    write_results("fig5_bbr_adversarial", text)
+    print("\n" + text)

@@ -1,0 +1,47 @@
+"""Table 1: range of link parameters produced by the CC adversary.
+
+Verifies that the implemented action space matches the paper's table and
+that sampled/scaled actions always land inside it, then reports the table.
+"""
+
+import numpy as np
+from conftest import write_results
+
+from repro.adversary.cc_env import CC_ACTION_RANGES, CcAdversaryEnv
+from repro.analysis import format_table
+from repro.cc.protocols.bbr import BBRSender
+
+PAPER_TABLE1 = {
+    "bandwidth_mbps": (6.0, 24.0),
+    "latency_ms": (15.0, 60.0),
+    "loss_rate": (0.0, 0.10),
+}
+
+
+def run_table1():
+    env = CcAdversaryEnv(BBRSender, episode_intervals=10)
+    rng = np.random.default_rng(0)
+    observed = {k: [np.inf, -np.inf] for k in CC_ACTION_RANGES}
+    for _ in range(2000):
+        raw = rng.normal(0.0, 2.0, size=3)  # wilder than PPO exploration
+        bw, lat, loss = env.action_to_conditions(raw)
+        for key, value in zip(CC_ACTION_RANGES, (bw, lat, loss)):
+            observed[key][0] = min(observed[key][0], value)
+            observed[key][1] = max(observed[key][1], value)
+    return observed
+
+
+def test_table1_action_space(benchmark):
+    observed = benchmark.pedantic(run_table1, rounds=1, iterations=1)
+    rows = []
+    for key, (lo, hi) in PAPER_TABLE1.items():
+        assert CC_ACTION_RANGES[key] == (lo, hi), f"{key} range drifted from Table 1"
+        assert observed[key][0] >= lo - 1e-9
+        assert observed[key][1] <= hi + 1e-9
+        rows.append([key, lo, hi, observed[key][0], observed[key][1]])
+    table = format_table(
+        ["parameter", "paper lo", "paper hi", "observed lo", "observed hi"], rows
+    )
+    text = "Table 1 -- CC adversary action ranges (30 ms granularity)\n\n" + table + "\n"
+    write_results("table1_action_space", text)
+    print("\n" + text)

@@ -1,0 +1,176 @@
+"""Shared fixtures for the experiment benchmarks.
+
+Expensive artifacts (trained Pensieve, trained adversaries) are built once
+per pytest session and reused by every bench that needs them.  The
+``REPRO_BENCH_SCALE`` environment variable scales all training budgets
+(e.g. ``REPRO_BENCH_SCALE=0.2`` for a quick smoke run); the defaults are
+laptop-scale reductions of the paper's ~600k-step runs, chosen so the
+whole suite completes in tens of minutes on one core.
+
+Each bench writes its rendered tables/plots to ``results/<name>.txt`` and
+records headline numbers in the pytest-benchmark ``extra_info``.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.abr.protocols import MPC, BufferBased
+from repro.abr.protocols.pensieve import train_pensieve
+from repro.abr.video import Video
+from repro.adversary.abr_env import default_abr_adversary_config, train_abr_adversary
+from repro.adversary.cc_env import train_cc_adversary
+from repro.cc.protocols.bbr import BBRSender
+from repro.rl.ppo import PPOConfig
+from repro.traces.synthetic import make_dataset
+
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+def scaled(steps: int, floor: int = 4096) -> int:
+    """Scale a training budget by REPRO_BENCH_SCALE (with a sane floor)."""
+    return max(int(steps * SCALE), floor)
+
+
+def write_results(name: str, text: str) -> Path:
+    """Persist a bench's rendered output under results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text)
+    return path
+
+
+def tuned_abr_adversary_config() -> PPOConfig:
+    """The ABR adversary PPO configuration used across benches."""
+    config = default_abr_adversary_config()
+    config.ent_coef = 0.003
+    config.learning_rate = 5e-4
+    return config
+
+
+def tuned_cc_adversary_config() -> PPOConfig:
+    """The CC adversary PPO configuration used across benches.
+
+    gamma=0.997 spans the ~10 s inter-probe horizon of the BBR attack
+    (333 intervals of 30 ms).
+    """
+    return PPOConfig(
+        n_steps=2048,
+        batch_size=256,
+        n_epochs=6,
+        learning_rate=3e-4,
+        ent_coef=0.001,
+        hidden=(4,),
+        init_log_std=-0.7,
+        target_kl=0.03,
+        gamma=0.997,
+        gae_lambda=0.97,
+    )
+
+
+@pytest.fixture(scope="session")
+def video48():
+    """The evaluation video: 48 four-second chunks, Pensieve's ladder."""
+    return Video.synthetic(n_chunks=48, seed=1)
+
+
+@pytest.fixture(scope="session")
+def pensieve_model(video48):
+    """Pensieve trained on a mixed benign corpus (the attack target)."""
+    corpus = make_dataset("broadband", 30, seed=10) + make_dataset("3g", 30, seed=11)
+    return train_pensieve(corpus, video48, total_steps=scaled(120_000), seed=0)
+
+
+@pytest.fixture(scope="session")
+def adversary_vs_mpc(video48):
+    """ABR adversary trained against the paper's MPC re-implementation."""
+    return train_abr_adversary(
+        MPC(robust=False),
+        video48,
+        total_steps=scaled(100_000),
+        seed=0,
+        config=tuned_abr_adversary_config(),
+    )
+
+
+@pytest.fixture(scope="session")
+def adversary_vs_pensieve(video48, pensieve_model):
+    """ABR adversary trained against the frozen Pensieve model."""
+    return train_abr_adversary(
+        pensieve_model.agent,
+        video48,
+        total_steps=scaled(100_000),
+        seed=1,
+        config=tuned_abr_adversary_config(),
+    )
+
+
+@pytest.fixture(scope="session")
+def adversary_vs_bb(video48):
+    """ABR adversary trained against buffer-based rate adaptation."""
+    return train_abr_adversary(
+        BufferBased(),
+        video48,
+        total_steps=scaled(60_000),
+        seed=2,
+        config=tuned_abr_adversary_config(),
+    )
+
+
+@pytest.fixture(scope="session")
+def cc_adversary_vs_bbr():
+    """CC adversary trained against BBR (Table 1 action space, 30 ms)."""
+    return train_cc_adversary(
+        BBRSender,
+        total_steps=scaled(200_000),
+        seed=2,
+        episode_intervals=1000,
+        config=tuned_cc_adversary_config(),
+    )
+
+
+@pytest.fixture(scope="session")
+def abr_trace_corpora(adversary_vs_mpc, adversary_vs_pensieve):
+    """The three Figure-1 corpora: anti-MPC, anti-Pensieve, random.
+
+    The paper generates 200 traces per corpus; 60 keeps the one-core suite
+    tractable while preserving the CDF shapes.
+    """
+    from repro.adversary.generation import generate_abr_traces
+    from repro.traces.random_traces import random_abr_traces
+
+    n_traces = max(int(60 * SCALE), 20)
+    anti_mpc = [
+        r.trace
+        for r in generate_abr_traces(
+            adversary_vs_mpc.trainer, adversary_vs_mpc.env, n_traces,
+            name_prefix="anti-mpc",
+        )
+    ]
+    anti_pensieve = [
+        r.trace
+        for r in generate_abr_traces(
+            adversary_vs_pensieve.trainer, adversary_vs_pensieve.env, n_traces,
+            name_prefix="anti-pensieve",
+        )
+    ]
+    return {
+        "anti-mpc": anti_mpc,
+        "anti-pensieve": anti_pensieve,
+        "random": random_abr_traces(n_traces, seed=77, n_segments=48),
+    }
+
+
+@pytest.fixture(scope="session")
+def abr_protocols(pensieve_model):
+    """The paper's protocol lineup: pensieve / mpc / bb (section 3.1)."""
+    return {
+        "pensieve": pensieve_model.agent,
+        "mpc": MPC(robust=False),
+        "bb": BufferBased(),
+    }

@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Section 5's CI story: an adversarial regression suite for ABR protocols.
+
+"Consider the case of continuous integration, where the protocol is
+changed over time, but it is desirable that all previously-fixed problems
+remain fixed."
+
+This example records adversarial worst cases against a tuned protocol,
+then shows the suite (a) passing for that protocol, (b) catching a
+"regression" (a mis-tuned variant), and (c) being refreshed so the test
+inputs chase the current implementation instead of its history.
+
+Run:  python examples/adversarial_regression_ci.py
+"""
+
+from repro.abr.protocols import BufferBased
+from repro.abr.video import Video
+from repro.adversary import AdversarialRegressionSuite
+
+
+def main() -> None:
+    video = Video.synthetic(n_chunks=48, seed=1)
+    good = BufferBased(reservoir_s=5.0, cushion_s=10.0)
+
+    suite = AdversarialRegressionSuite(video, margin=0.05)
+    print("hunting worst cases against the current protocol ...")
+    added = suite.refresh(good, adversary_steps=15_000, n_traces=10,
+                          keep_worst=5, seed=0)
+    print(f"recorded {len(added)} adversarial cases; thresholds: "
+          + ", ".join(f"{c.min_qoe:.2f}" for c in added))
+
+    print("\nCI run against the unchanged protocol:")
+    print(suite.check(good).summary())
+
+    # A plausible "bad patch": someone shrinks the reservoir so far that
+    # the client rides the empty-buffer edge.
+    regressed = BufferBased(reservoir_s=0.5, cushion_s=2.0)
+    print("\nCI run against a mis-tuned patch (reservoir 0.5 s):")
+    report = suite.check(regressed)
+    print(report.summary())
+    if not report.ok:
+        print("-> the patch would be rejected before it ships.")
+
+    print("\nrefreshing the suite against the patched protocol "
+          "(per the paper: re-create the inputs that cause the exact problem) ...")
+    suite.refresh(regressed, adversary_steps=15_000, n_traces=10,
+                  keep_worst=3, seed=1)
+    print(f"suite now has {len(suite.cases)} cases; "
+          f"worst thresholds: "
+          + ", ".join(f"{c.min_qoe:.2f}" for c in suite.worst_cases(3)))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Working with traces: generation, statistics, persistence, interchange.
+
+Shows the trace toolkit that everything else builds on: synthetic dataset
+generators (FCC-broadband-like and 3G/HSDPA-like), random baselines over
+an adversary's action space, corpus save/load, and Mahimahi-format export.
+
+Run:  python examples/trace_tools.py
+"""
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.analysis import ascii_timeseries, format_table
+from repro.traces.io import load_corpus, save_corpus, to_mahimahi_lines
+from repro.traces.random_traces import random_abr_traces, random_cc_trace
+from repro.traces.synthetic import make_dataset
+
+
+def main() -> None:
+    broadband = make_dataset("broadband", 5, seed=0)
+    mobile = make_dataset("3g", 5, seed=0)
+
+    rows = []
+    for name, corpus in (("broadband-like", broadband), ("3g-like", mobile)):
+        means = [t.mean_bandwidth() for t in corpus]
+        smooth = [t.smoothness() for t in corpus]
+        mins = [float(np.min(t.bandwidths_mbps)) for t in corpus]
+        rows.append([name, float(np.mean(means)), float(np.mean(smooth)),
+                     float(np.min(mins))])
+    print(format_table(
+        ["corpus", "mean bw (Mbps)", "smoothness (Mbps/step)", "deepest fade"], rows
+    ))
+
+    print("\none 3g-like trace (bandwidth over time):")
+    print(ascii_timeseries(mobile[0].bandwidths_mbps, label="seconds ->"))
+
+    # Random baselines over the two adversary action spaces.
+    abr_random = random_abr_traces(3, seed=1)[0]
+    cc_random = random_cc_trace(np.random.default_rng(2), n_segments=100)
+    print(f"\nrandom ABR trace: {len(abr_random)} chunks, "
+          f"bw in [{abr_random.bandwidths_mbps.min():.2f}, "
+          f"{abr_random.bandwidths_mbps.max():.2f}] Mbps")
+    print(f"random CC trace: {len(cc_random)} intervals of 30 ms, "
+          f"loss up to {cc_random.loss_rates.max():.1%}")
+
+    # Persistence round-trip and Mahimahi export.
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "corpus.jsonl"
+        save_corpus(broadband, path)
+        restored = load_corpus(path)
+        print(f"\nsaved and restored {len(restored)} traces via {path.name}")
+
+    schedule = to_mahimahi_lines(broadband[0].slice(0.0, 5.0))
+    print(f"Mahimahi export of the first 5 s: {len(schedule)} packet slots, "
+          f"first 10: {schedule[:10]}")
+
+
+if __name__ == "__main__":
+    main()

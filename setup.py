@@ -1,0 +1,10 @@
+"""Setuptools shim; metadata lives in pyproject.toml.
+
+The evaluation machine has no ``wheel`` package, so PEP 660 editable
+installs (``pip install -e .``) cannot build; ``python setup.py develop``
+works through the classic egg-link path instead.
+"""
+
+from setuptools import setup
+
+setup()

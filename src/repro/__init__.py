@@ -1,0 +1,23 @@
+"""repro -- reproduction of "Robustifying Network Protocols with Adversarial
+Examples" (Gilad, Jay, Shnaiderman, Godfrey, Schapira -- HotNets 2019).
+
+Package layout
+--------------
+- :mod:`repro.nn` -- NumPy neural networks, optimizers, distributions.
+- :mod:`repro.rl` -- gym-like env API, PPO, REINFORCE, rollout buffers.
+- :mod:`repro.traces` -- network traces: data structure, synthetic dataset
+  generators (FCC-broadband-like, 3G/HSDPA-like), random traces, I/O.
+- :mod:`repro.abr` -- adaptive-bitrate video streaming: chunk simulator,
+  QoE metrics, and the protocols BB, rate-based, (robust) MPC, offline
+  optimal, and Pensieve (RL).
+- :mod:`repro.cc` -- congestion control: event-driven packet-level link
+  emulator and the protocols BBR, Cubic, Reno.
+- :mod:`repro.adversary` -- the paper's contribution: RL adversary
+  environments for ABR and CC, Eq. 1 reward assembly, trace generation,
+  and the section-2.3 robust-training pipeline.
+- :mod:`repro.analysis` -- CDFs, QoE-ratio tables, ASCII reporting.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,23 @@
+"""Adaptive bitrate (ABR) video streaming substrate.
+
+Re-implements the chunk-level streaming simulator of Pensieve (Mao et al.,
+SIGCOMM '17) that the paper used "for training and testing" (section 3),
+the linear QoE metric of MPC (Yin et al.), and the ABR protocols the paper
+evaluates: buffer-based (BB), robust MPC, Pensieve (RL), plus a rate-based
+baseline and the offline optimum used for the adversary's ``r_opt``.
+"""
+
+from repro.abr.qoe import QoEWeights, chunk_qoe, video_qoe
+from repro.abr.simulator import ChunkResult, StreamingSession
+from repro.abr.video import BITRATES_KBPS, CHUNK_SECONDS, Video
+
+__all__ = [
+    "BITRATES_KBPS",
+    "CHUNK_SECONDS",
+    "ChunkResult",
+    "QoEWeights",
+    "StreamingSession",
+    "Video",
+    "chunk_qoe",
+    "video_qoe",
+]

@@ -1,0 +1,79 @@
+"""Gym-style environment for training Pensieve over a trace corpus."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.abr.features import build_features, feature_dim
+from repro.abr.qoe import QoEWeights
+from repro.abr.simulator import StreamingSession, TraceBandwidth
+from repro.abr.video import Video
+from repro.rl.env import Env
+from repro.rl.spaces import Box, Discrete
+from repro.traces.trace import Trace
+
+__all__ = ["AbrTrainingEnv"]
+
+
+class AbrTrainingEnv(Env):
+    """One episode = one full playback over a randomly drawn trace.
+
+    Each step downloads one chunk at the chosen ladder index; the reward is
+    that chunk's linear-QoE contribution, so the undiscounted episode
+    return is exactly ``QoE_lin`` of the playback.
+
+    The trace corpus is mutable on purpose: the section-2.3 robustification
+    pipeline appends adversarial traces mid-training via
+    :meth:`extend_corpus`.
+    """
+
+    def __init__(
+        self,
+        traces: list[Trace],
+        video: Video,
+        weights: QoEWeights = QoEWeights(),
+        random_start: bool = True,
+        seed: int = 0,
+    ) -> None:
+        if not traces:
+            raise ValueError("trace corpus is empty")
+        self.traces = list(traces)
+        self.video = video
+        self.weights = weights
+        self.random_start = random_start
+        self._rng = np.random.default_rng(seed)
+        big = 1e6
+        dim = feature_dim(video.n_bitrates)
+        self.observation_space = Box(low=[-big] * dim, high=[big] * dim)
+        self.action_space = Discrete(video.n_bitrates)
+        self._session: StreamingSession | None = None
+
+    def extend_corpus(self, traces: list[Trace]) -> None:
+        """Add traces to the sampling pool (used for adversarial training)."""
+        if not traces:
+            raise ValueError("no traces to add")
+        self.traces.extend(traces)
+
+    def reset(self, *, seed: int | None = None) -> np.ndarray:
+        if seed is not None:
+            self._rng = np.random.default_rng(seed)
+        trace = self.traces[int(self._rng.integers(len(self.traces)))]
+        self._session = StreamingSession(
+            self.video, TraceBandwidth(trace), weights=self.weights
+        )
+        if self.random_start:
+            # Start at a random point of the (looping) trace, as Pensieve does.
+            self._session.wall_time = float(self._rng.uniform(0.0, trace.duration))
+        return build_features(self._session.observation(), self.video)
+
+    def step(self, action: int) -> tuple[np.ndarray, float, bool, dict]:
+        if self._session is None:
+            raise RuntimeError("call reset() before step()")
+        result = self._session.download_chunk(int(action))
+        obs = build_features(self._session.observation(), self.video)
+        info = {
+            "rebuffer": result.rebuffer_seconds,
+            "bitrate_kbps": result.bitrate_kbps,
+            "buffer": result.buffer_seconds,
+        }
+        return obs, result.qoe, result.done, info

@@ -1,0 +1,56 @@
+"""Observation featurization shared by Pensieve training and inference.
+
+Mirrors Pensieve's state (Mao et al., section 5.1): last chunk's bitrate,
+current buffer, an 8-deep throughput and download-time history, the sizes
+of the next chunk at every ladder rate, and the number of chunks left --
+flattened into one vector for the MLP policy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.abr.simulator import AbrObservation
+from repro.abr.video import Video
+
+__all__ = ["N_HISTORY", "build_features", "feature_dim"]
+
+#: History depth (Pensieve uses the past 8 chunks).
+N_HISTORY = 8
+
+_BUFFER_NORM_S = 10.0
+_TIME_NORM_S = 10.0
+_SIZE_NORM_BYTES = 1e6
+_THROUGHPUT_NORM_MBPS = 10.0
+
+
+def feature_dim(n_bitrates: int) -> int:
+    """Length of the flattened feature vector."""
+    return 2 + 2 * N_HISTORY + n_bitrates + 1
+
+
+def build_features(observation: AbrObservation, video: Video) -> np.ndarray:
+    """Flatten an :class:`AbrObservation` into the Pensieve feature vector."""
+    max_bitrate = float(video.bitrates_kbps[-1])
+    last_bitrate = (
+        0.0
+        if observation.last_quality is None
+        else video.bitrates_kbps[observation.last_quality] / max_bitrate
+    )
+    throughputs = np.zeros(N_HISTORY)
+    delays = np.zeros(N_HISTORY)
+    history = observation.throughput_history[-N_HISTORY:]
+    for slot, (size, dl) in enumerate(reversed(history)):
+        if dl > 0:
+            throughputs[slot] = (size * 8.0 / dl / 1e6) / _THROUGHPUT_NORM_MBPS
+            delays[slot] = dl / _TIME_NORM_S
+    features = np.concatenate(
+        [
+            [last_bitrate, observation.buffer_seconds / _BUFFER_NORM_S],
+            throughputs,
+            delays,
+            observation.next_chunk_sizes / _SIZE_NORM_BYTES,
+            [observation.chunks_remaining / max(video.n_chunks, 1)],
+        ]
+    )
+    return features

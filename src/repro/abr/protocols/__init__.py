@@ -1,0 +1,23 @@
+"""ABR protocols evaluated by the paper (plus supporting baselines)."""
+
+from repro.abr.protocols.base import AbrPolicy, run_session
+from repro.abr.protocols.bola import Bola
+from repro.abr.protocols.buffer_based import BufferBased
+from repro.abr.protocols.mpc import MPC
+from repro.abr.protocols.optimal import optimal_plan_dp, optimal_qoe_exhaustive
+from repro.abr.protocols.pensieve import PensieveAgent, continue_training, train_pensieve
+from repro.abr.protocols.rate_based import RateBased
+
+__all__ = [
+    "AbrPolicy",
+    "Bola",
+    "BufferBased",
+    "MPC",
+    "PensieveAgent",
+    "RateBased",
+    "continue_training",
+    "optimal_plan_dp",
+    "optimal_qoe_exhaustive",
+    "run_session",
+    "train_pensieve",
+]

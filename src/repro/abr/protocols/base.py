@@ -1,0 +1,63 @@
+"""The ABR protocol interface and the session runner."""
+
+from __future__ import annotations
+
+from repro.abr.qoe import QoEWeights
+from repro.abr.simulator import (
+    AbrObservation,
+    BandwidthSchedule,
+    ChunkIndexedBandwidth,
+    SessionResult,
+    StreamingSession,
+    TraceBandwidth,
+)
+from repro.abr.video import Video
+from repro.traces.trace import Trace
+
+__all__ = ["AbrPolicy", "run_session"]
+
+
+class AbrPolicy:
+    """An adaptive-bitrate protocol: maps observations to ladder indices.
+
+    Protocols are stateful across a playback (MPC tracks prediction
+    errors, Pensieve stacks observation history); :meth:`reset` is called
+    once per video before the first decision.
+    """
+
+    name = "abr"
+
+    def reset(self, video: Video) -> None:
+        """Prepare for a new playback of ``video``."""
+
+    def select(self, observation: AbrObservation) -> int:
+        """Return the ladder index for the next chunk."""
+        raise NotImplementedError
+
+
+def run_session(
+    video: Video,
+    bandwidth: BandwidthSchedule | Trace,
+    policy: AbrPolicy,
+    weights: QoEWeights = QoEWeights(),
+    chunk_indexed: bool = False,
+) -> SessionResult:
+    """Play ``video`` end-to-end under ``policy`` and return the summary.
+
+    ``bandwidth`` may be a :class:`Trace` (wrapped in
+    :class:`TraceBandwidth`) or any :class:`BandwidthSchedule`.  With
+    ``chunk_indexed=True``, a Trace's bandwidth values are applied one per
+    chunk download (the online-adversary replay semantics) instead of by
+    wall-clock time; this reproduces an adversary episode exactly.
+    """
+    if isinstance(bandwidth, Trace):
+        if chunk_indexed:
+            bandwidth = ChunkIndexedBandwidth(bandwidth.bandwidths_mbps, cycle=True)
+        else:
+            bandwidth = TraceBandwidth(bandwidth)
+    session = StreamingSession(video, bandwidth, weights=weights)
+    policy.reset(video)
+    while not session.done:
+        quality = policy.select(session.observation())
+        session.download_chunk(quality)
+    return session.summary()

@@ -1,0 +1,64 @@
+"""BOLA (Spiteri, Urgaonkar, Sitaraman, INFOCOM '16) -- Lyapunov ABR.
+
+An additional rule-based baseline beyond the paper's lineup (BB, MPC,
+Pensieve): BOLA maximizes a buffer-parameterized Lyapunov score per chunk,
+
+    score(q) = (V * (u_q + gamma_p) - Q) / s_q
+
+with ``u_q = ln(bitrate_q / bitrate_min)`` the quality utility, ``Q`` the
+buffer level in chunks, ``s_q`` the relative chunk size, and ``V`` chosen
+so that the highest quality is selected exactly when the buffer reaches
+``buffer_target``.  Useful as a further adversary target: like BB it is
+driven purely by the buffer, but with a smooth, utility-shaped map.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.abr.protocols.base import AbrPolicy
+from repro.abr.simulator import AbrObservation
+from repro.abr.video import Video
+
+__all__ = ["Bola"]
+
+
+class Bola(AbrPolicy):
+    """BOLA-BASIC over the video's bitrate ladder."""
+
+    name = "bola"
+
+    def __init__(self, buffer_target_s: float = 25.0, gamma_p: float = 5.0) -> None:
+        if buffer_target_s <= 0:
+            raise ValueError("buffer target must be positive")
+        if gamma_p <= 0:
+            raise ValueError("gamma_p must be positive")
+        self.buffer_target_s = float(buffer_target_s)
+        self.gamma_p = float(gamma_p)
+        self._video: Video | None = None
+        self._utilities: np.ndarray | None = None
+        self._v: float = 0.0
+
+    def reset(self, video: Video) -> None:
+        self._video = video
+        bitrates = np.asarray(video.bitrates_kbps, dtype=float)
+        self._utilities = np.log(bitrates / bitrates[0])
+        # Choose V so the top quality wins exactly at the buffer target:
+        # V * (u_max + gamma_p) - Q_target = 0.
+        q_target = self.buffer_target_s / video.chunk_seconds
+        self._v = q_target / (self._utilities[-1] + self.gamma_p)
+
+    def scores(self, observation: AbrObservation) -> np.ndarray:
+        """The per-quality BOLA objective values."""
+        video = self._video
+        if video is None or self._utilities is None:
+            raise RuntimeError("policy not reset with a video")
+        buffer_chunks = observation.buffer_seconds / video.chunk_seconds
+        relative_sizes = np.asarray(video.bitrates_kbps, dtype=float)
+        relative_sizes = relative_sizes / relative_sizes[0]
+        return (
+            self._v * (self._utilities + self.gamma_p) - buffer_chunks
+        ) / relative_sizes
+
+    def select(self, observation: AbrObservation) -> int:
+        return int(np.argmax(self.scores(observation)))

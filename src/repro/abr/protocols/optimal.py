@@ -1,0 +1,159 @@
+"""Offline-optimal ABR given known future per-chunk bandwidth.
+
+Two solvers:
+
+- :func:`optimal_qoe_exhaustive` -- exact maximum QoE over a short window
+  by enumerating every plan.  This computes the adversary's ``r_opt``:
+  "the highest possible QoE over the last 4 network changes" (section 3).
+- :func:`optimal_plan_dp` -- full-video optimum by dynamic programming
+  over a discretized buffer, used for the "Offline Optimum" overlay in
+  Figure 3.
+
+Both assume the per-chunk bandwidth schedule of the online adversary:
+conditions are fixed for the duration of each chunk download, which makes
+the download time of chunk ``i`` at quality ``q`` simply
+``size(i, q) / rate_i + RTT``.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+from repro.abr.qoe import QoEWeights
+from repro.abr.simulator import BUFFER_CAP_S, LINK_RTT_S, PACKET_PAYLOAD_PORTION
+from repro.abr.video import Video
+
+__all__ = ["optimal_plan_dp", "optimal_qoe_exhaustive"]
+
+
+def _download_times(
+    video: Video, start_chunk: int, bandwidths_mbps: np.ndarray
+) -> np.ndarray:
+    """Matrix ``(len(bandwidths), n_bitrates)`` of download times in seconds."""
+    rates = np.asarray(bandwidths_mbps, dtype=float) * 1e6 / 8.0 * PACKET_PAYLOAD_PORTION
+    if np.any(rates <= 0):
+        raise ValueError("bandwidths must be positive")
+    sizes = video.chunk_sizes_bytes[start_chunk : start_chunk + len(rates)]
+    if sizes.shape[0] < len(rates):
+        raise ValueError("bandwidth schedule runs past the end of the video")
+    return sizes / rates[:, None] + LINK_RTT_S
+
+
+def optimal_qoe_exhaustive(
+    video: Video,
+    start_chunk: int,
+    bandwidths_mbps,
+    start_buffer_s: float,
+    prev_quality: int | None,
+    weights: QoEWeights = QoEWeights(),
+) -> tuple[float, list[int]]:
+    """Exact max QoE over ``len(bandwidths_mbps)`` chunks; returns (qoe, plan).
+
+    Enumeration is vectorized over all ``n_bitrates ** window`` plans;
+    windows up to ~6 chunks are instantaneous.
+    """
+    bandwidths = np.asarray(bandwidths_mbps, dtype=float)
+    steps = len(bandwidths)
+    if steps == 0:
+        raise ValueError("empty bandwidth window")
+    if steps > 8:
+        raise ValueError("exhaustive search limited to 8 chunks; use optimal_plan_dp")
+    downloads = _download_times(video, start_chunk, bandwidths)
+    qualities = np.array([weights.quality(b) for b in video.bitrates_kbps])
+
+    combos = np.array(
+        list(itertools.product(range(video.n_bitrates), repeat=steps)), dtype=int
+    )
+    n = combos.shape[0]
+    buffer = np.full(n, float(start_buffer_s))
+    total = np.zeros(n)
+    prev = None if prev_quality is None else np.full(n, qualities[prev_quality])
+    for k in range(steps):
+        download = downloads[k, combos[:, k]]
+        rebuffer = np.maximum(download - buffer, 0.0)
+        buffer = np.minimum(
+            np.maximum(buffer - download, 0.0) + video.chunk_seconds, BUFFER_CAP_S
+        )
+        quality = qualities[combos[:, k]]
+        total += quality - weights.rebuffer_penalty * rebuffer
+        if prev is not None:
+            total -= weights.smooth_penalty * np.abs(quality - prev)
+        prev = quality
+    best = int(np.argmax(total))
+    return float(total[best]), combos[best].tolist()
+
+
+def optimal_plan_dp(
+    video: Video,
+    bandwidths_mbps,
+    weights: QoEWeights = QoEWeights(),
+    buffer_step_s: float = 0.25,
+    start_buffer_s: float = 0.0,
+) -> tuple[float, list[int]]:
+    """Full-video offline optimum via backward DP over (chunk, prev, buffer).
+
+    The buffer is discretized to ``buffer_step_s`` (new buffers round
+    *down*, so the returned value is a slightly conservative bound and the
+    plan is feasible).  Returns ``(total_qoe, plan)``.
+    """
+    bandwidths = np.asarray(bandwidths_mbps, dtype=float)
+    if len(bandwidths) != video.n_chunks:
+        raise ValueError(
+            f"need one bandwidth per chunk ({video.n_chunks}), got {len(bandwidths)}"
+        )
+    downloads = _download_times(video, 0, bandwidths)
+    qualities = np.array([weights.quality(b) for b in video.bitrates_kbps])
+    nq = video.n_bitrates
+    grid = np.arange(0.0, BUFFER_CAP_S + buffer_step_s, buffer_step_s)
+    nb = len(grid)
+
+    # value[p, b]: best attainable QoE from the current chunk onward, given
+    # previous quality p (nq == "no previous chunk" sentinel) and buffer b.
+    value = np.zeros((nq + 1, nb))
+    choice = np.zeros((video.n_chunks, nq + 1, nb), dtype=np.int8)
+    for i in reversed(range(video.n_chunks)):
+        # gains[q, b]: quality & rebuffer part + future value, before smoothness.
+        gains = np.empty((nq, nb))
+        for q in range(nq):
+            dl = downloads[i, q]
+            rebuffer = np.maximum(dl - grid, 0.0)
+            new_buffer = np.minimum(np.maximum(grid - dl, 0.0) + video.chunk_seconds,
+                                    BUFFER_CAP_S)
+            idx = np.minimum((new_buffer / buffer_step_s).astype(int), nb - 1)
+            gains[q] = (
+                qualities[q] - weights.rebuffer_penalty * rebuffer + value[q, idx]
+            )
+        new_value = np.empty((nq + 1, nb))
+        for p in range(nq + 1):
+            if p < nq:
+                smooth = weights.smooth_penalty * np.abs(qualities - qualities[p])
+            else:
+                smooth = np.zeros(nq)
+            scored = gains - smooth[:, None]
+            best_q = np.argmax(scored, axis=0)
+            new_value[p] = scored[best_q, np.arange(nb)]
+            choice[i, p] = best_q
+        value = new_value
+
+    # Forward pass: execute the stored decisions with the *exact* buffer.
+    plan: list[int] = []
+    buffer = float(start_buffer_s)
+    prev = nq
+    total = 0.0
+    prev_bitrate: float | None = None
+    for i in range(video.n_chunks):
+        b_idx = min(int(buffer / buffer_step_s), nb - 1)
+        q = int(choice[i, prev, b_idx])
+        dl = downloads[i, q]
+        rebuffer = max(dl - buffer, 0.0)
+        buffer = min(max(buffer - dl, 0.0) + video.chunk_seconds, BUFFER_CAP_S)
+        gain = qualities[q] - weights.rebuffer_penalty * rebuffer
+        if prev_bitrate is not None:
+            gain -= weights.smooth_penalty * abs(qualities[q] - prev_bitrate)
+        total += gain
+        prev_bitrate = qualities[q]
+        plan.append(q)
+        prev = q
+    return float(total), plan

@@ -1,0 +1,323 @@
+"""Chunk-level ABR streaming simulator.
+
+Re-implementation of the Pensieve simulator (``fixed_env.py`` of Mao et
+al.), which the paper used "for training and testing" (section 3).  The
+mechanics and constants match the original:
+
+- downloads deliver ``PACKET_PAYLOAD_PORTION`` of the raw link rate,
+- every chunk pays one ``LINK_RTT`` of latency,
+- the client buffer gains 4 s of content per chunk, drains in real time
+  during downloads, rebuffers when it empties, and is capped at 60 s
+  (the client sleeps in 500 ms quanta when the cap is exceeded).
+
+Bandwidth comes from a :class:`BandwidthSchedule`.  Two implementations:
+
+- :class:`TraceBandwidth` integrates downloads over a time-indexed
+  :class:`~repro.traces.trace.Trace` (the benign-corpus case),
+- :class:`ControlledBandwidth` holds a constant rate per download, set
+  before each chunk (the online adversary case: "adversaries make
+  observations every video chunk" and then fix the next conditions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.abr.qoe import QoEWeights, chunk_qoe
+from repro.abr.video import Video
+from repro.traces.trace import Trace
+
+__all__ = [
+    "AbrObservation",
+    "BandwidthSchedule",
+    "ChunkIndexedBandwidth",
+    "ChunkResult",
+    "ControlledBandwidth",
+    "SessionResult",
+    "StreamingSession",
+    "TraceBandwidth",
+]
+
+PACKET_PAYLOAD_PORTION = 0.95
+LINK_RTT_S = 0.08
+BUFFER_CAP_S = 60.0
+SLEEP_QUANTUM_S = 0.5
+
+
+class BandwidthSchedule:
+    """Maps a download request to a download time."""
+
+    def download_time(self, size_bytes: float, t_start: float) -> float:
+        """Seconds needed to deliver ``size_bytes`` starting at ``t_start``."""
+        raise NotImplementedError
+
+
+class TraceBandwidth(BandwidthSchedule):
+    """Integrates downloads across a piecewise-constant trace.
+
+    Traces shorter than the playback loop (Pensieve's behaviour) unless
+    ``loop=False``.
+    """
+
+    def __init__(self, trace: Trace, loop: bool = True) -> None:
+        self.trace = trace
+        self.loop = loop
+
+    def download_time(self, size_bytes: float, t_start: float) -> float:
+        if size_bytes <= 0:
+            raise ValueError("size must be positive")
+        remaining = float(size_bytes)
+        t = float(t_start)
+        elapsed = 0.0
+        # Hard cap to avoid infinite loops on pathological all-zero traces.
+        max_elapsed = 3600.0
+        while remaining > 0:
+            if not self.loop and t - self.trace.timestamps[0] >= self.trace.duration:
+                # Past the end of a non-looping trace: last rate persists.
+                bw = float(self.trace.bandwidths_mbps[-1])
+                seg_end = float("inf")
+            else:
+                seg = self.trace._segment_at(t, self.loop)
+                bw = float(self.trace.bandwidths_mbps[seg])
+                offset = (t - self.trace.timestamps[0]) % self.trace.duration
+                seg_end = self.trace.segment_end(seg)
+                seg_end = t + (seg_end - offset)
+            rate = bw * 1e6 / 8.0 * PACKET_PAYLOAD_PORTION  # bytes/s
+            span = seg_end - t
+            if rate <= 1e-9:
+                delivered = 0.0
+            else:
+                delivered = rate * span
+            if delivered >= remaining and rate > 1e-9:
+                dt = remaining / rate
+                elapsed += dt
+                return elapsed
+            remaining -= delivered
+            elapsed += span
+            t = seg_end
+            if elapsed > max_elapsed:
+                raise RuntimeError("download exceeded one hour; trace rate is ~zero")
+        return elapsed
+
+
+class ChunkIndexedBandwidth(BandwidthSchedule):
+    """One fixed bandwidth per chunk *download*, regardless of wall time.
+
+    This is the replay semantics of the online ABR adversary: it fixes the
+    conditions for the duration of each chunk download, so a recorded
+    trace is indexed by chunk, not by wall-clock time.  Each call to
+    :meth:`download_time` consumes the next entry.
+    """
+
+    def __init__(self, bandwidths_mbps, cycle: bool = False) -> None:
+        self.bandwidths_mbps = [float(b) for b in np.atleast_1d(bandwidths_mbps)]
+        if not self.bandwidths_mbps or any(b <= 0 for b in self.bandwidths_mbps):
+            raise ValueError("need a non-empty list of positive bandwidths")
+        self.cycle = cycle
+        self._index = 0
+
+    def download_time(self, size_bytes: float, t_start: float) -> float:
+        if size_bytes <= 0:
+            raise ValueError("size must be positive")
+        if self._index >= len(self.bandwidths_mbps):
+            if not self.cycle:
+                raise RuntimeError(
+                    f"chunk-indexed schedule exhausted after {self._index} downloads"
+                )
+            self._index = 0
+        bw = self.bandwidths_mbps[self._index]
+        self._index += 1
+        rate = bw * 1e6 / 8.0 * PACKET_PAYLOAD_PORTION
+        return size_bytes / rate
+
+
+class ControlledBandwidth(BandwidthSchedule):
+    """A constant download rate, reset by a controller before each chunk."""
+
+    def __init__(self, initial_mbps: float = 1.0) -> None:
+        self.set_mbps(initial_mbps)
+
+    def set_mbps(self, bandwidth_mbps: float) -> None:
+        if bandwidth_mbps <= 0:
+            raise ValueError(f"bandwidth must be positive, got {bandwidth_mbps}")
+        self.bandwidth_mbps = float(bandwidth_mbps)
+
+    def download_time(self, size_bytes: float, t_start: float) -> float:
+        if size_bytes <= 0:
+            raise ValueError("size must be positive")
+        rate = self.bandwidth_mbps * 1e6 / 8.0 * PACKET_PAYLOAD_PORTION
+        return size_bytes / rate
+
+
+@dataclass
+class ChunkResult:
+    """Outcome of downloading one chunk."""
+
+    chunk_index: int
+    quality: int
+    bitrate_kbps: float
+    size_bytes: float
+    download_seconds: float
+    rebuffer_seconds: float
+    sleep_seconds: float
+    buffer_seconds: float
+    qoe: float
+    done: bool
+
+
+@dataclass
+class AbrObservation:
+    """What an ABR protocol (and the adversary) sees between chunks.
+
+    Matches the observation list in section 3: "the bitrate chosen by the
+    protocol for the previous chunk, the client buffer occupancy, the
+    possible sizes of the next chunk, the number of remaining chunks, and
+    the throughput and download time for the last downloaded video chunk".
+    """
+
+    chunk_index: int
+    last_quality: int | None
+    buffer_seconds: float
+    last_chunk_bytes: float
+    last_download_seconds: float
+    next_chunk_sizes: np.ndarray
+    chunks_remaining: int
+    throughput_history: list[tuple[float, float]] = field(default_factory=list)
+
+    def last_throughput_mbps(self) -> float:
+        """Measured throughput of the last download (0 before any chunk)."""
+        if self.last_download_seconds <= 0:
+            return 0.0
+        return self.last_chunk_bytes * 8.0 / self.last_download_seconds / 1e6
+
+
+@dataclass
+class SessionResult:
+    """Full-playback summary."""
+
+    bitrates_kbps: list[float]
+    rebuffer_seconds: list[float]
+    download_seconds: list[float]
+    buffer_seconds: list[float]
+    qualities: list[int]
+    qoe_total: float
+    qoe_mean: float
+    total_rebuffer: float
+    chunks: list[ChunkResult]
+
+
+class StreamingSession:
+    """One client streaming one video over one bandwidth schedule."""
+
+    def __init__(
+        self,
+        video: Video,
+        bandwidth: BandwidthSchedule,
+        weights: QoEWeights = QoEWeights(),
+        history_len: int = 8,
+    ) -> None:
+        self.video = video
+        self.bandwidth = bandwidth
+        self.weights = weights
+        self.history_len = history_len
+        self.reset()
+
+    def reset(self) -> None:
+        self.chunk_index = 0
+        self.buffer_seconds = 0.0
+        self.wall_time = 0.0
+        self.prev_quality: int | None = None
+        self.last_chunk_bytes = 0.0
+        self.last_download_seconds = 0.0
+        self.throughput_history: list[tuple[float, float]] = []
+        self.results: list[ChunkResult] = []
+
+    @property
+    def done(self) -> bool:
+        return self.chunk_index >= self.video.n_chunks
+
+    def observation(self) -> AbrObservation:
+        """The protocol-facing state before the next chunk decision."""
+        if self.done:
+            next_sizes = np.zeros(self.video.n_bitrates)
+        else:
+            next_sizes = self.video.chunk_sizes_bytes[self.chunk_index].copy()
+        return AbrObservation(
+            chunk_index=self.chunk_index,
+            last_quality=self.prev_quality,
+            buffer_seconds=self.buffer_seconds,
+            last_chunk_bytes=self.last_chunk_bytes,
+            last_download_seconds=self.last_download_seconds,
+            next_chunk_sizes=next_sizes,
+            chunks_remaining=self.video.n_chunks - self.chunk_index,
+            throughput_history=list(self.throughput_history),
+        )
+
+    def download_chunk(self, quality: int) -> ChunkResult:
+        """Download the next chunk at ladder index ``quality``."""
+        if self.done:
+            raise RuntimeError("video already finished")
+        if not 0 <= quality < self.video.n_bitrates:
+            raise ValueError(f"quality {quality} outside ladder")
+        size = self.video.chunk_size(self.chunk_index, quality)
+        delay = self.bandwidth.download_time(size, self.wall_time) + LINK_RTT_S
+        rebuffer = max(delay - self.buffer_seconds, 0.0)
+        self.buffer_seconds = max(self.buffer_seconds - delay, 0.0)
+        self.buffer_seconds += self.video.chunk_seconds
+        self.wall_time += delay
+
+        sleep = 0.0
+        if self.buffer_seconds > BUFFER_CAP_S:
+            excess = self.buffer_seconds - BUFFER_CAP_S
+            sleep = float(np.ceil(excess / SLEEP_QUANTUM_S)) * SLEEP_QUANTUM_S
+            self.buffer_seconds -= sleep
+            self.wall_time += sleep
+
+        bitrate = float(self.video.bitrates_kbps[quality])
+        prev_bitrate = (
+            None if self.prev_quality is None else float(self.video.bitrates_kbps[self.prev_quality])
+        )
+        qoe = chunk_qoe(bitrate, rebuffer, prev_bitrate, self.weights)
+
+        self.prev_quality = quality
+        self.last_chunk_bytes = size
+        self.last_download_seconds = delay
+        self.throughput_history.append((size, delay))
+        if len(self.throughput_history) > self.history_len:
+            self.throughput_history.pop(0)
+        self.chunk_index += 1
+
+        result = ChunkResult(
+            chunk_index=self.chunk_index - 1,
+            quality=quality,
+            bitrate_kbps=bitrate,
+            size_bytes=size,
+            download_seconds=delay,
+            rebuffer_seconds=rebuffer,
+            sleep_seconds=sleep,
+            buffer_seconds=self.buffer_seconds,
+            qoe=qoe,
+            done=self.done,
+        )
+        self.results.append(result)
+        return result
+
+    def summary(self) -> SessionResult:
+        """Summarize the playback so far."""
+        if not self.results:
+            raise RuntimeError("no chunks downloaded yet")
+        qoes = [r.qoe for r in self.results]
+        total = float(sum(qoes))
+        return SessionResult(
+            bitrates_kbps=[r.bitrate_kbps for r in self.results],
+            rebuffer_seconds=[r.rebuffer_seconds for r in self.results],
+            download_seconds=[r.download_seconds for r in self.results],
+            buffer_seconds=[r.buffer_seconds for r in self.results],
+            qualities=[r.quality for r in self.results],
+            qoe_total=total,
+            qoe_mean=total / len(self.results),
+            total_rebuffer=float(sum(r.rebuffer_seconds for r in self.results)),
+            chunks=list(self.results),
+        )

@@ -1,0 +1,46 @@
+"""The paper's contribution: RL adversaries that generate challenging
+network conditions for a target protocol.
+
+- :mod:`repro.adversary.reward` -- Equation 1 (``r_adv = r_opt -
+  r_protocol - p_smoothing``) and the smoothing penalties of both domains,
+- :mod:`repro.adversary.abr_env` -- the adaptive-video-streaming adversary
+  (acts once per chunk, controls bandwidth; section 3),
+- :mod:`repro.adversary.cc_env` -- the congestion-control adversary (acts
+  every 30 ms, controls bandwidth/latency/loss; section 4, Table 1),
+- :mod:`repro.adversary.trace_adversary` -- the trace-based alternative
+  formulation discussed (and argued against) in section 2.1,
+- :mod:`repro.adversary.generation` -- rolling trained adversaries out
+  into reusable traces, plus the random-trace baseline,
+- :mod:`repro.adversary.robust_training` -- the section-2.3 pipeline that
+  folds adversarial traces back into Pensieve's training.
+"""
+
+from repro.adversary.abr_env import AbrAdversaryEnv, train_abr_adversary
+from repro.adversary.cc_env import CcAdversaryEnv, train_cc_adversary
+from repro.adversary.constrained import PerturbationAdversaryEnv
+from repro.adversary.generation import (
+    generate_abr_traces,
+    generate_cc_traces,
+    rollout_abr_adversary,
+    rollout_cc_adversary,
+)
+from repro.adversary.regression import AdversarialRegressionSuite
+from repro.adversary.reward import AdversaryReward, EwmaSmoothing, LastActionSmoothing
+from repro.adversary.robust_training import robustify_pensieve
+
+__all__ = [
+    "AbrAdversaryEnv",
+    "AdversarialRegressionSuite",
+    "AdversaryReward",
+    "CcAdversaryEnv",
+    "EwmaSmoothing",
+    "LastActionSmoothing",
+    "PerturbationAdversaryEnv",
+    "generate_abr_traces",
+    "generate_cc_traces",
+    "robustify_pensieve",
+    "rollout_abr_adversary",
+    "rollout_cc_adversary",
+    "train_abr_adversary",
+    "train_cc_adversary",
+]

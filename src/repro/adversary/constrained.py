@@ -1,0 +1,81 @@
+"""Constrained adversaries (section 5, "Constraining Adversaries").
+
+"Developers might also be interested in constraining adversaries relative
+to a particular set of traces, e.g., to making only small changes to an
+existing test case."
+
+:class:`PerturbationAdversaryEnv` wraps the ABR adversary so that each
+action is a bounded multiplicative *perturbation* of a reference trace's
+bandwidth: chunk ``i`` downloads at ``base_i * (1 + a_i * max_relative)``.
+The reward is still Equation 1, so the adversary searches for the most
+damaging small deviation from a realistic test case.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.abr.protocols.base import AbrPolicy
+from repro.abr.qoe import QoEWeights
+from repro.abr.video import Video
+from repro.adversary.abr_env import AbrAdversaryEnv
+from repro.traces.trace import Trace
+
+__all__ = ["PerturbationAdversaryEnv"]
+
+
+class PerturbationAdversaryEnv(AbrAdversaryEnv):
+    """An ABR adversary restricted to small deviations from a base trace.
+
+    Parameters
+    ----------
+    base_trace:
+        The reference test case; its bandwidth values are consumed one per
+        chunk (cycling if shorter than the video).
+    max_relative:
+        Largest allowed relative deviation, e.g. 0.25 for +-25%.
+    """
+
+    def __init__(
+        self,
+        target: AbrPolicy,
+        video: Video,
+        base_trace: Trace,
+        max_relative: float = 0.25,
+        weights: QoEWeights = QoEWeights(),
+        smoothing_weight: float = 1.0,
+        min_bandwidth_mbps: float = 0.05,
+    ) -> None:
+        if not 0.0 < max_relative <= 1.0:
+            raise ValueError("max_relative must be in (0, 1]")
+        if len(base_trace) == 0:
+            raise ValueError("base trace is empty")
+        super().__init__(
+            target,
+            video,
+            weights=weights,
+            smoothing_weight=smoothing_weight,
+        )
+        self.base_trace = base_trace
+        self.max_relative = max_relative
+        self.min_bandwidth_mbps = min_bandwidth_mbps
+
+    def _base_bandwidth(self) -> float:
+        index = len(self._chosen_bw) % len(self.base_trace)
+        return float(self.base_trace.bandwidths_mbps[index])
+
+    def action_to_bandwidth(self, action) -> float:
+        """Interpret the action as a bounded relative perturbation."""
+        unit = float(np.clip(np.asarray(action, dtype=float).ravel()[0], -1.0, 1.0))
+        bandwidth = self._base_bandwidth() * (1.0 + unit * self.max_relative)
+        return max(bandwidth, self.min_bandwidth_mbps)
+
+    def deviation_from_base(self) -> float:
+        """Mean relative deviation of the chosen bandwidths so far."""
+        if not self._chosen_bw:
+            return 0.0
+        deviations = []
+        for i, chosen in enumerate(self._chosen_bw):
+            base = float(self.base_trace.bandwidths_mbps[i % len(self.base_trace)])
+            deviations.append(abs(chosen - base) / base)
+        return float(np.mean(deviations))

@@ -1,0 +1,159 @@
+"""Rolling trained adversaries out into reusable traces.
+
+"We show that traces from these adversaries are sufficient to reproduce
+flawed performance in a variety of target protocols without having to
+re-run the adversary" (section 2.1): an adversary episode is recorded as a
+:class:`~repro.traces.trace.Trace` that can be replayed against any
+protocol.
+
+Stochastic rollouts (``deterministic=False``) sample the policy's
+exploration noise, yielding a *corpus* of distinct traces (the paper
+produces 200 per target); deterministic rollouts give the single
+noise-free action sequence used for Figure 6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.adversary.abr_env import AbrAdversaryEnv
+from repro.adversary.cc_env import CcAdversaryEnv
+from repro.cc.network import IntervalStats
+from repro.rl.ppo import PPO
+from repro.traces.trace import Trace
+
+__all__ = [
+    "AbrRollout",
+    "CcRollout",
+    "generate_abr_traces",
+    "generate_cc_traces",
+    "rollout_abr_adversary",
+    "rollout_cc_adversary",
+]
+
+
+@dataclass
+class AbrRollout:
+    """One adversary episode against an ABR protocol."""
+
+    trace: Trace
+    target_qoe_mean: float
+    adversary_return: float
+    qualities: list[int]
+
+
+@dataclass
+class CcRollout:
+    """One adversary episode against a congestion-control protocol."""
+
+    trace: Trace
+    raw_actions: np.ndarray
+    intervals: list[IntervalStats]
+    mean_utilization: float
+    capacity_fraction: float
+    adversary_return: float
+
+
+def rollout_abr_adversary(
+    trainer: PPO,
+    env: AbrAdversaryEnv,
+    deterministic: bool = False,
+    name: str = "adv-abr",
+) -> AbrRollout:
+    """Run one adversary episode; record the bandwidth trace it produced."""
+    obs = env.reset()
+    total = 0.0
+    qualities: list[int] = []
+    done = False
+    while not done:
+        action = trainer.predict(obs, deterministic=deterministic)
+        obs, reward, done, info = env.step(action)
+        total += reward
+        qualities.append(info["quality"])
+    session = env._session
+    assert session is not None
+    summary = session.summary()
+    trace = Trace.from_steps(
+        env.chosen_bandwidths(), env.video.chunk_seconds, name=name
+    )
+    return AbrRollout(
+        trace=trace,
+        target_qoe_mean=summary.qoe_mean,
+        adversary_return=total,
+        qualities=qualities,
+    )
+
+
+def generate_abr_traces(
+    trainer: PPO,
+    env: AbrAdversaryEnv,
+    n_traces: int,
+    deterministic: bool = False,
+    name_prefix: str = "adv-abr",
+) -> list[AbrRollout]:
+    """Produce a corpus of adversarial traces (the paper generates 200)."""
+    if n_traces <= 0:
+        raise ValueError("n_traces must be positive")
+    return [
+        rollout_abr_adversary(
+            trainer, env, deterministic=deterministic, name=f"{name_prefix}-{i:03d}"
+        )
+        for i in range(n_traces)
+    ]
+
+
+def rollout_cc_adversary(
+    trainer: PPO,
+    env: CcAdversaryEnv,
+    deterministic: bool = False,
+    name: str = "adv-cc",
+) -> CcRollout:
+    """Run one adversary episode against a congestion-control sender."""
+    obs = env.reset()
+    total = 0.0
+    done = False
+    while not done:
+        action = trainer.predict(obs, deterministic=deterministic)
+        obs, reward, done, _info = env.step(action)
+        total += reward
+    conditions = np.asarray(env.condition_log)
+    trace = Trace.from_steps(
+        conditions[:, 0],
+        env.interval_s,
+        latencies_ms=conditions[:, 1],
+        loss_rates=conditions[:, 2],
+        name=name,
+    )
+    assert env.emulator is not None
+    intervals = list(env.emulator.history)
+    utilizations = [s.utilization for s in intervals]
+    throughput = float(np.mean([s.throughput_mbps for s in intervals]))
+    capacity = float(np.mean([s.bandwidth_mbps for s in intervals]))
+    return CcRollout(
+        trace=trace,
+        raw_actions=np.asarray(env.action_log),
+        intervals=intervals,
+        mean_utilization=float(np.mean(utilizations)),
+        capacity_fraction=throughput / capacity if capacity > 0 else 0.0,
+        adversary_return=total,
+    )
+
+
+def generate_cc_traces(
+    trainer: PPO,
+    env: CcAdversaryEnv,
+    n_traces: int,
+    deterministic: bool = False,
+    name_prefix: str = "adv-cc",
+) -> list[CcRollout]:
+    """Produce a corpus of adversarial congestion-control traces."""
+    if n_traces <= 0:
+        raise ValueError("n_traces must be positive")
+    return [
+        rollout_cc_adversary(
+            trainer, env, deterministic=deterministic, name=f"{name_prefix}-{i:03d}"
+        )
+        for i in range(n_traces)
+    ]

@@ -1,0 +1,173 @@
+"""Adversarial regression testing (section 5, "Guiding protocol development").
+
+"Consider the case of continuous integration, where the protocol is
+changed over time, but it is desirable that all previously-fixed problems
+remain fixed.  In such a case, using an adversary to create inputs that
+cause the exact problem in question, instead of running a fixed set of
+traces that caused problems in an earlier version of the code, would help
+developers create a more robust fix."
+
+:class:`AdversarialRegressionSuite` packages both halves of that idea:
+
+- a corpus of recorded adversarial traces with per-trace QoE thresholds
+  (the classic fixed regression suite), checked by :meth:`check`, and
+- :meth:`refresh`, which re-trains an adversary against the *current*
+  protocol and folds its newly discovered worst cases into the suite, so
+  the tests chase the implementation rather than its history.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.abr.protocols.base import AbrPolicy, run_session
+from repro.abr.qoe import QoEWeights
+from repro.abr.video import Video
+from repro.adversary.abr_env import train_abr_adversary
+from repro.adversary.generation import generate_abr_traces
+from repro.traces.trace import Trace
+
+__all__ = ["AdversarialRegressionSuite", "RegressionCase", "RegressionReport"]
+
+
+@dataclass
+class RegressionCase:
+    """One recorded trace with the minimum QoE the protocol must achieve."""
+
+    trace: Trace
+    min_qoe: float
+    origin: str = "recorded"
+
+    def to_dict(self) -> dict:
+        return {
+            "trace": self.trace.to_dict(),
+            "min_qoe": self.min_qoe,
+            "origin": self.origin,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RegressionCase":
+        return cls(
+            trace=Trace.from_dict(data["trace"]),
+            min_qoe=float(data["min_qoe"]),
+            origin=data.get("origin", "recorded"),
+        )
+
+
+@dataclass
+class RegressionReport:
+    """Outcome of running a protocol against the suite."""
+
+    passed: list[str] = field(default_factory=list)
+    failed: list[tuple[str, float, float]] = field(default_factory=list)  # (name, qoe, min)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failed
+
+    def summary(self) -> str:
+        lines = [f"{len(self.passed)} passed, {len(self.failed)} failed"]
+        for name, qoe, threshold in self.failed:
+            lines.append(f"  FAIL {name}: QoE {qoe:.3f} < required {threshold:.3f}")
+        return "\n".join(lines)
+
+
+class AdversarialRegressionSuite:
+    """A refreshable, persistent suite of adversarial test cases."""
+
+    def __init__(
+        self,
+        video: Video,
+        weights: QoEWeights = QoEWeights(),
+        margin: float = 0.1,
+    ) -> None:
+        """``margin`` loosens recorded thresholds (QoE units per chunk)."""
+        self.video = video
+        self.weights = weights
+        self.margin = margin
+        self.cases: list[RegressionCase] = []
+
+    # -- building the suite -----------------------------------------------------
+
+    def record(self, trace: Trace, reference: AbrPolicy, origin: str = "recorded") -> RegressionCase:
+        """Add a case whose threshold is the reference protocol's QoE."""
+        result = run_session(
+            self.video, trace, reference, weights=self.weights, chunk_indexed=True
+        )
+        case = RegressionCase(
+            trace=trace, min_qoe=result.qoe_mean - self.margin, origin=origin
+        )
+        self.cases.append(case)
+        return case
+
+    def refresh(
+        self,
+        protocol: AbrPolicy,
+        adversary_steps: int = 30_000,
+        n_traces: int = 10,
+        keep_worst: int = 5,
+        seed: int = 0,
+    ) -> list[RegressionCase]:
+        """Hunt fresh worst cases against the *current* protocol.
+
+        Trains a new adversary, keeps the ``keep_worst`` most damaging
+        traces, and records them with the protocol's current QoE as the
+        never-regress threshold.
+        """
+        result = train_abr_adversary(
+            protocol, self.video, total_steps=adversary_steps, seed=seed,
+            weights=self.weights,
+        )
+        rolls = generate_abr_traces(result.trainer, result.env, n_traces)
+        rolls.sort(key=lambda r: r.target_qoe_mean)
+        added = []
+        for roll in rolls[:keep_worst]:
+            added.append(self.record(roll.trace, protocol, origin="refresh"))
+        return added
+
+    # -- running the suite ---------------------------------------------------------
+
+    def check(self, protocol: AbrPolicy) -> RegressionReport:
+        """Replay every case against ``protocol``; fail below threshold."""
+        if not self.cases:
+            raise RuntimeError("suite is empty; record() or refresh() first")
+        report = RegressionReport()
+        for case in self.cases:
+            result = run_session(
+                self.video, case.trace, protocol, weights=self.weights,
+                chunk_indexed=True,
+            )
+            if result.qoe_mean >= case.min_qoe:
+                report.passed.append(case.trace.name)
+            else:
+                report.failed.append((case.trace.name, result.qoe_mean, case.min_qoe))
+        return report
+
+    # -- persistence ------------------------------------------------------------------
+
+    def save(self, path: str | Path) -> None:
+        payload = {
+            "margin": self.margin,
+            "cases": [c.to_dict() for c in self.cases],
+        }
+        Path(path).write_text(json.dumps(payload))
+
+    def load(self, path: str | Path) -> None:
+        payload = json.loads(Path(path).read_text())
+        self.margin = float(payload["margin"])
+        self.cases = [RegressionCase.from_dict(c) for c in payload["cases"]]
+
+    def worst_cases(self, k: int = 3) -> list[RegressionCase]:
+        """The ``k`` cases with the lowest recorded thresholds."""
+        return sorted(self.cases, key=lambda c: c.min_qoe)[:k]
+
+
+def suite_mean_threshold(suite: AdversarialRegressionSuite) -> float:
+    """Mean per-chunk QoE threshold across the suite (difficulty proxy)."""
+    if not suite.cases:
+        raise RuntimeError("suite is empty")
+    return float(np.mean([c.min_qoe for c in suite.cases]))

@@ -1,0 +1,102 @@
+"""The section-2.3 robustification pipeline.
+
+"(1) train the protocol of interest, (2) train an adversary against it,
+(3) use the trained adversary to generate traces, and (4) continue the
+protocol's training with the new adversarial traces in its training
+dataset."
+
+"To avoid over-fitting to adversarial examples, which might be edge
+cases, we suggest incorporating the generated traces late into the
+training" -- the paper pauses at 90% (and alternatively 70%) of the
+training iterations (section 3.3); :func:`robustify_pensieve` exposes the
+switch point as ``switch_fraction``.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+
+from repro.abr.protocols.pensieve import (
+    PensieveTrainResult,
+    continue_training,
+    train_pensieve,
+)
+from repro.abr.qoe import QoEWeights
+from repro.abr.video import Video
+from repro.adversary.abr_env import train_abr_adversary
+from repro.adversary.generation import generate_abr_traces
+from repro.rl.ppo import PPOConfig
+from repro.traces.trace import Trace
+
+__all__ = ["RobustificationResult", "robustify_pensieve"]
+
+
+@dataclass
+class RobustificationResult:
+    """Both arms of the experiment, trained from a shared checkpoint.
+
+    ``baseline`` finished its training on the original corpus only;
+    ``robust`` continued from the *same* partially-trained checkpoint with
+    the adversarial traces added to its corpus.
+    """
+
+    baseline: PensieveTrainResult
+    robust: PensieveTrainResult
+    adversarial_traces: list[Trace]
+    switch_fraction: float
+
+
+def robustify_pensieve(
+    corpus: list[Trace],
+    video: Video,
+    total_steps: int = 40_000,
+    switch_fraction: float = 0.9,
+    adversary_steps: int = 30_000,
+    n_adversarial_traces: int = 50,
+    seed: int = 0,
+    config: PPOConfig | None = None,
+    adversary_config: PPOConfig | None = None,
+    weights: QoEWeights = QoEWeights(),
+) -> RobustificationResult:
+    """Run the full four-step pipeline and return both trained agents."""
+    if not 0.0 < switch_fraction < 1.0:
+        raise ValueError("switch_fraction must be in (0, 1)")
+    phase1 = int(total_steps * switch_fraction)
+    phase2 = total_steps - phase1
+
+    # (1) train the protocol up to the pause point.
+    partial = train_pensieve(
+        corpus, video, total_steps=phase1, seed=seed, config=config, weights=weights
+    )
+
+    # Fork: the baseline arm finishes training on the unchanged corpus.
+    baseline = copy.deepcopy(partial)
+    baseline = continue_training(baseline, phase2)
+
+    # (2) train an adversary against the frozen partially-trained model.
+    frozen_target = copy.deepcopy(partial.agent)
+    adversary = train_abr_adversary(
+        frozen_target,
+        video,
+        total_steps=adversary_steps,
+        seed=seed + 1,
+        config=adversary_config,
+        weights=weights,
+    )
+
+    # (3) generate adversarial traces.
+    rollouts = generate_abr_traces(
+        adversary.trainer, adversary.env, n_adversarial_traces
+    )
+    adv_traces = [r.trace for r in rollouts]
+
+    # (4) resume the protocol's training on the augmented corpus.
+    robust = continue_training(partial, phase2, new_traces=adv_traces)
+
+    return RobustificationResult(
+        baseline=baseline,
+        robust=robust,
+        adversarial_traces=adv_traces,
+        switch_fraction=switch_fraction,
+    )

@@ -1,0 +1,88 @@
+"""The trace-based adversary formulation (section 2.1's alternative).
+
+"A trace-based adversary generates an entire trace ... as a single output,
+and is evaluated by running the target protocol on that trace."  The paper
+argues this trains slowly -- "each trace constitutes only a single data
+point" -- and uses online adversaries instead.  We implement it so the
+claim can be tested (``benchmarks/bench_ablation_trace_vs_online.py``).
+
+Formulation: an episode emits one bandwidth per chunk while observing only
+its own progress (no protocol feedback); the entire Equation-1 reward
+arrives on the final step, computed by replaying the target protocol and
+the offline optimum over the finished trace.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.abr.protocols.base import AbrPolicy, run_session
+from repro.abr.protocols.optimal import optimal_plan_dp
+from repro.abr.qoe import QoEWeights
+from repro.abr.video import Video
+from repro.adversary.abr_env import ABR_BW_HIGH_MBPS, ABR_BW_LOW_MBPS
+from repro.adversary.reward import AdversaryReward
+from repro.rl.env import Env
+from repro.rl.spaces import Box
+from repro.traces.trace import Trace
+
+__all__ = ["TraceAdversaryEnv"]
+
+
+class TraceAdversaryEnv(Env):
+    """Blind trace emission with a single end-of-episode reward."""
+
+    def __init__(
+        self,
+        target: AbrPolicy,
+        video: Video,
+        weights: QoEWeights = QoEWeights(),
+        smoothing_weight: float = 1.0,
+    ) -> None:
+        self.target = target
+        self.video = video
+        self.weights = weights
+        self.reward_fn = AdversaryReward(smoothing_weight=smoothing_weight)
+        self.bw_box = Box([ABR_BW_LOW_MBPS], [ABR_BW_HIGH_MBPS])
+        self.action_space = Box([-1.0], [1.0])
+        # Observation: episode progress and the previous choice only.
+        self.observation_space = Box([-1e6] * 2, [1e6] * 2)
+        self._chosen: list[float] = []
+
+    def _observe(self) -> np.ndarray:
+        progress = len(self._chosen) / self.video.n_chunks
+        last = self._chosen[-1] if self._chosen else 0.0
+        return np.array([progress, last / ABR_BW_HIGH_MBPS])
+
+    def reset(self, *, seed: int | None = None) -> np.ndarray:
+        self._chosen = []
+        return self._observe()
+
+    def step(self, action) -> tuple[np.ndarray, float, bool, dict]:
+        if len(self._chosen) >= self.video.n_chunks:
+            raise RuntimeError("trace finished; call reset()")
+        bandwidth = float(self.bw_box.scale_from_unit(np.asarray(action, dtype=float))[0])
+        self._chosen.append(bandwidth)
+        done = len(self._chosen) == self.video.n_chunks
+        if not done:
+            return self._observe(), 0.0, False, {}
+        trace = self.build_trace()
+        result = run_session(self.video, trace, self.target, weights=self.weights)
+        r_opt, _plan = optimal_plan_dp(
+            self.video, np.asarray(self._chosen), weights=self.weights
+        )
+        smoothing = float(np.sum(np.abs(np.diff(self._chosen))))
+        reward = self.reward_fn(r_opt, result.qoe_total, smoothing)
+        info = {
+            "r_opt": r_opt,
+            "r_protocol": result.qoe_total,
+            "smoothing": smoothing,
+            "target_qoe_mean": result.qoe_mean,
+        }
+        return self._observe(), reward, True, info
+
+    def build_trace(self, name: str = "trace-adv") -> Trace:
+        """The trace assembled so far (one segment per chunk)."""
+        if not self._chosen:
+            raise RuntimeError("no actions taken yet")
+        return Trace.from_steps(self._chosen, self.video.chunk_seconds, name=name)

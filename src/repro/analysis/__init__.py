@@ -1,0 +1,21 @@
+"""Result analysis: CDFs, QoE ratios, bootstrap CIs, ASCII reporting."""
+
+from repro.analysis.stats import (
+    bootstrap_ci,
+    cdf,
+    fraction_better,
+    percentile,
+    qoe_ratio_summary,
+)
+from repro.analysis.report import ascii_cdf, ascii_timeseries, format_table
+
+__all__ = [
+    "ascii_cdf",
+    "ascii_timeseries",
+    "bootstrap_ci",
+    "cdf",
+    "format_table",
+    "fraction_better",
+    "percentile",
+    "qoe_ratio_summary",
+]

@@ -1,0 +1,94 @@
+"""ASCII rendering of experiment artifacts (CDFs, time series, tables).
+
+The benches print these so that each paper figure has a terminal-readable
+counterpart; no plotting dependency is needed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.stats import cdf
+
+__all__ = ["ascii_cdf", "ascii_timeseries", "format_table"]
+
+
+def format_table(headers: list[str], rows: list[list], precision: int = 3) -> str:
+    """Render a fixed-width table with right-aligned numeric cells."""
+
+    def fmt(cell) -> str:
+        if isinstance(cell, float):
+            return f"{cell:.{precision}f}"
+        return str(cell)
+
+    str_rows = [[fmt(c) for c in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in str_rows)) if str_rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = [
+        "  ".join(h.ljust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in str_rows:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def ascii_cdf(
+    series: dict[str, list | np.ndarray],
+    width: int = 60,
+    height: int = 12,
+    x_label: str = "value",
+) -> str:
+    """Plot several empirical CDFs on one character grid."""
+    if not series:
+        raise ValueError("no series given")
+    marks = "abcdefghij"
+    all_values = np.concatenate([np.asarray(v, dtype=float) for v in series.values()])
+    lo, hi = float(all_values.min()), float(all_values.max())
+    if hi <= lo:
+        hi = lo + 1.0
+    grid = [[" "] * width for _ in range(height)]
+    legend = []
+    for mark, (name, values) in zip(marks, series.items()):
+        legend.append(f"{mark}={name}")
+        xs, ys = cdf(values)
+        for x, y in zip(xs, ys):
+            col = int((x - lo) / (hi - lo) * (width - 1))
+            row = height - 1 - int(y * (height - 1))
+            grid[row][col] = mark
+    lines = ["1.0 |" + "".join(r) for r in grid[:1]]
+    lines += ["    |" + "".join(r) for r in grid[1:-1]]
+    lines += ["0.0 |" + "".join(grid[-1])]
+    lines.append("    +" + "-" * width)
+    lines.append(f"     {lo:<10.2f}{x_label:^{max(width - 20, 0)}}{hi:>10.2f}")
+    lines.append("     " + "  ".join(legend))
+    return "\n".join(lines)
+
+
+def ascii_timeseries(
+    values, width: int = 70, height: int = 10, label: str = ""
+) -> str:
+    """Plot one time series as a character grid (index on the x axis)."""
+    values = np.asarray(values, dtype=float)
+    if len(values) == 0:
+        raise ValueError("empty series")
+    lo, hi = float(values.min()), float(values.max())
+    if hi <= lo:
+        hi = lo + 1.0
+    # Downsample to the plot width by averaging bins.
+    idx = np.linspace(0, len(values), width + 1).astype(int)
+    binned = np.array(
+        [values[a:b].mean() if b > a else values[min(a, len(values) - 1)]
+         for a, b in zip(idx[:-1], idx[1:])]
+    )
+    grid = [[" "] * width for _ in range(height)]
+    for col, v in enumerate(binned):
+        row = height - 1 - int((v - lo) / (hi - lo) * (height - 1))
+        grid[row][col] = "*"
+    lines = [f"{hi:>8.2f} |" + "".join(grid[0])]
+    lines += ["         |" + "".join(r) for r in grid[1:-1]]
+    lines.append(f"{lo:>8.2f} |" + "".join(grid[-1]))
+    lines.append("         +" + "-" * width + (f"  {label}" if label else ""))
+    return "\n".join(lines)

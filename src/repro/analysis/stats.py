@@ -1,0 +1,97 @@
+"""Statistics used by the experiment benches."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "QoERatioSummary",
+    "bootstrap_ci",
+    "cdf",
+    "fraction_better",
+    "percentile",
+    "qoe_ratio_summary",
+]
+
+
+def cdf(values) -> tuple[np.ndarray, np.ndarray]:
+    """Empirical CDF: returns ``(sorted_values, P[X <= x])``."""
+    x = np.sort(np.asarray(values, dtype=float))
+    if len(x) == 0:
+        raise ValueError("empty sample")
+    y = np.arange(1, len(x) + 1) / len(x)
+    return x, y
+
+
+def percentile(values, q: float) -> float:
+    """The ``q``-th percentile (0-100), linear interpolation."""
+    return float(np.percentile(np.asarray(values, dtype=float), q))
+
+
+def fraction_better(a, b) -> float:
+    """Fraction of paired samples where ``a > b``.
+
+    Used for the paper's claim that "in over 75% of the adversary's
+    traces, the targeted protocol performed worse than the other".
+    """
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    if a.shape != b.shape:
+        raise ValueError("paired samples must have equal shape")
+    if len(a) == 0:
+        raise ValueError("empty sample")
+    return float(np.mean(a > b))
+
+
+@dataclass
+class QoERatioSummary:
+    """Figure-2 style summary of per-trace QoE ratios (mean/95th/max)."""
+
+    mean: float
+    p95: float
+    max: float
+    fraction_other_better: float
+    n: int
+
+
+def qoe_ratio_summary(
+    other_qoe, targeted_qoe, floor: float = 0.05
+) -> QoERatioSummary:
+    """Per-trace ratio of the *other* protocol's QoE to the *targeted* one's.
+
+    Ratios are computed per paired trace; QoE values are floored at
+    ``floor`` (QoE can be arbitrarily negative under rebuffering, which
+    would make raw ratios meaningless).  The paper reports the mean, the
+    95th percentile and the max of this ratio (Figure 2).
+    """
+    other = np.maximum(np.asarray(other_qoe, dtype=float), floor)
+    targeted = np.maximum(np.asarray(targeted_qoe, dtype=float), floor)
+    if other.shape != targeted.shape or len(other) == 0:
+        raise ValueError("need equal-length, non-empty paired samples")
+    ratios = other / targeted
+    return QoERatioSummary(
+        mean=float(ratios.mean()),
+        p95=percentile(ratios, 95),
+        max=float(ratios.max()),
+        fraction_other_better=fraction_better(other, targeted),
+        n=len(ratios),
+    )
+
+
+def bootstrap_ci(
+    values, stat=np.mean, n_boot: int = 1000, alpha: float = 0.05, seed: int = 0
+) -> tuple[float, float]:
+    """Percentile bootstrap confidence interval for ``stat`` of ``values``."""
+    values = np.asarray(values, dtype=float)
+    if len(values) == 0:
+        raise ValueError("empty sample")
+    rng = np.random.default_rng(seed)
+    stats = np.array(
+        [stat(values[rng.integers(0, len(values), len(values))]) for _ in range(n_boot)]
+    )
+    return (
+        float(np.quantile(stats, alpha / 2.0)),
+        float(np.quantile(stats, 1.0 - alpha / 2.0)),
+    )

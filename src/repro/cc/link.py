@@ -1,0 +1,74 @@
+"""The time-varying bottleneck link: rate, propagation delay, random loss.
+
+The adversary "is given control over link bandwidth, latency and random
+loss rate at a granularity of 30 milliseconds" (section 4); the emulator
+calls :meth:`TimeVaryingLink.set_conditions` at each interval boundary.
+The queue is droptail, sized in packets.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.cc.packet import Packet
+
+__all__ = ["TimeVaryingLink"]
+
+
+class TimeVaryingLink:
+    """Single FIFO bottleneck with piecewise-constant conditions."""
+
+    def __init__(
+        self,
+        bandwidth_mbps: float,
+        latency_ms: float,
+        loss_rate: float = 0.0,
+        queue_packets: int = 120,
+    ) -> None:
+        if queue_packets <= 0:
+            raise ValueError("queue must hold at least one packet")
+        self.queue_packets = int(queue_packets)
+        self.queue: deque[Packet] = deque()
+        self.busy = False
+        self.bytes_delivered = 0
+        self.drops_loss = 0
+        self.drops_queue = 0
+        self.set_conditions(bandwidth_mbps, latency_ms, loss_rate)
+
+    def set_conditions(
+        self, bandwidth_mbps: float, latency_ms: float, loss_rate: float
+    ) -> None:
+        """Apply a new (bandwidth, latency, loss) tuple."""
+        if bandwidth_mbps <= 0:
+            raise ValueError(f"bandwidth must be positive, got {bandwidth_mbps}")
+        if latency_ms < 0:
+            raise ValueError(f"latency cannot be negative, got {latency_ms}")
+        if not 0.0 <= loss_rate <= 1.0:
+            raise ValueError(f"loss rate must be in [0, 1], got {loss_rate}")
+        self.bandwidth_mbps = float(bandwidth_mbps)
+        self.latency_ms = float(latency_ms)
+        self.loss_rate = float(loss_rate)
+
+    @property
+    def rate_bps(self) -> float:
+        return self.bandwidth_mbps * 1e6
+
+    @property
+    def one_way_delay_s(self) -> float:
+        """Half the configured round-trip latency, applied per direction."""
+        return self.latency_ms / 1000.0 / 2.0
+
+    def service_time(self, packet: Packet) -> float:
+        """Transmission time of ``packet`` at the current rate."""
+        return packet.size_bytes * 8.0 / self.rate_bps
+
+    @property
+    def queue_full(self) -> bool:
+        return len(self.queue) >= self.queue_packets
+
+    def queue_bytes(self) -> int:
+        return sum(p.size_bytes for p in self.queue)
+
+    def queuing_delay_estimate_s(self) -> float:
+        """Instantaneous standing-queue delay at the current rate."""
+        return self.queue_bytes() * 8.0 / self.rate_bps

@@ -1,0 +1,94 @@
+"""Running senders over traces and summarizing link-level outcomes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cc.link import TimeVaryingLink
+from repro.cc.network import IntervalStats, PacketNetworkEmulator
+from repro.cc.protocols.base import Sender
+from repro.traces.trace import Trace
+
+__all__ = ["CcRunResult", "run_sender_on_trace", "summarize_intervals"]
+
+
+@dataclass
+class CcRunResult:
+    """Outcome of one sender playing one congestion-control trace."""
+
+    intervals: list[IntervalStats]
+    mean_utilization: float
+    mean_throughput_mbps: float
+    mean_capacity_mbps: float
+    loss_fraction: float
+    mean_queue_delay_s: float
+
+    @property
+    def capacity_fraction(self) -> float:
+        """Average throughput as a fraction of average link capacity.
+
+        This is the paper's headline metric for Figure 5: the adversary
+        "can reduce BBR's average throughput to just 45-65% of link
+        capacity".
+        """
+        if self.mean_capacity_mbps <= 0:
+            return 0.0
+        return self.mean_throughput_mbps / self.mean_capacity_mbps
+
+
+def summarize_intervals(intervals: list[IntervalStats], sender: Sender) -> CcRunResult:
+    """Aggregate per-interval statistics into a run summary."""
+    if not intervals:
+        raise ValueError("no intervals recorded")
+    throughput = np.array([s.throughput_mbps for s in intervals])
+    capacity = np.array([s.bandwidth_mbps for s in intervals])
+    return CcRunResult(
+        intervals=list(intervals),
+        mean_utilization=float(np.mean([s.utilization for s in intervals])),
+        mean_throughput_mbps=float(throughput.mean()),
+        mean_capacity_mbps=float(capacity.mean()),
+        loss_fraction=sender.loss_fraction(),
+        mean_queue_delay_s=float(np.mean([s.mean_queue_sojourn_s for s in intervals])),
+    )
+
+
+def run_sender_on_trace(
+    sender: Sender,
+    trace: Trace,
+    interval_s: float = 0.030,
+    queue_packets: int = 120,
+    seed: int = 0,
+    warmup_s: float = 0.0,
+) -> CcRunResult:
+    """Replay a (bandwidth, latency, loss) trace against ``sender``.
+
+    The trace must carry latency and loss schedules.  Conditions update at
+    every ``interval_s`` boundary (30 ms in the paper).  ``warmup_s``
+    intervals (run under the trace's first conditions) are excluded from
+    the summary so slow-start does not dominate short traces.
+    """
+    if trace.latencies_ms is None or trace.loss_rates is None:
+        raise ValueError("congestion-control traces need latency and loss schedules")
+    link = TimeVaryingLink(
+        bandwidth_mbps=float(trace.bandwidths_mbps[0]),
+        latency_ms=float(trace.latencies_ms[0]),
+        loss_rate=float(trace.loss_rates[0]),
+        queue_packets=queue_packets,
+    )
+    emulator = PacketNetworkEmulator(sender, link, seed=seed)
+    n_warmup = int(round(warmup_s / interval_s))
+    for _ in range(n_warmup):
+        emulator.run_interval(interval_s)
+    measured_from = len(emulator.history)
+    t = 0.0
+    while t < trace.duration - 1e-9:
+        emulator.set_conditions(
+            trace.bandwidth_at(t, loop=False),
+            trace.latency_at(t, loop=False),
+            trace.loss_at(t, loop=False),
+        )
+        emulator.run_interval(interval_s)
+        t += interval_s
+    return summarize_intervals(emulator.history[measured_from:], sender)

@@ -1,0 +1,195 @@
+"""Multi-flow emulation: several senders sharing one bottleneck.
+
+Section 5 points at adversarial goals beyond single-flow utilization --
+"finding conditions in which the protocol causes the highest amount of
+congestion", incast, unfairness.  Those need more than one flow through
+the bottleneck; this module extends the single-flow emulator to N
+senders sharing the droptail queue, and provides Jain's fairness index
+over their goodputs.
+
+The mechanics mirror :class:`repro.cc.network.PacketNetworkEmulator`:
+per-sender pacing timers and sequence spaces, one shared FIFO served at
+the link rate, Bernoulli loss at ingress, symmetric propagation delay.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cc.link import TimeVaryingLink
+from repro.cc.packet import Packet
+from repro.cc.protocols.base import Sender
+
+__all__ = ["FlowStats", "MultiFlowEmulator", "jain_fairness"]
+
+_TICK_S = 0.1
+
+
+def jain_fairness(rates) -> float:
+    """Jain's index: (sum x)^2 / (n * sum x^2); 1.0 is perfectly fair."""
+    x = np.asarray(list(rates), dtype=float)
+    if len(x) == 0:
+        raise ValueError("need at least one rate")
+    if np.all(x == 0):
+        return 1.0
+    return float(x.sum() ** 2 / (len(x) * np.sum(x * x)))
+
+
+@dataclass
+class FlowStats:
+    """Per-flow outcome over an interval or a whole run."""
+
+    bytes_delivered: int
+    throughput_mbps: float
+
+
+@dataclass
+class _Flow:
+    sender: Sender
+    next_seq: int = 0
+    send_blocked: bool = False
+    last_progress: float = 0.0
+    delivered_bytes_interval: int = 0
+
+
+class MultiFlowEmulator:
+    """N senders contending for one time-varying bottleneck."""
+
+    def __init__(
+        self,
+        senders: list[Sender],
+        link: TimeVaryingLink,
+        seed: int = 0,
+        start_stagger_s: float = 0.0,
+    ) -> None:
+        if not senders:
+            raise ValueError("need at least one sender")
+        self.link = link
+        self.rng = np.random.default_rng(seed)
+        self.now = 0.0
+        self._events: list[tuple[float, int, str, int, Packet | None]] = []
+        self._counter = 0
+        self.flows = [_Flow(sender=s) for s in senders]
+        for index, _flow in enumerate(self.flows):
+            self._schedule(index * start_stagger_s, "send", index, None)
+        self._schedule(_TICK_S, "tick", -1, None)
+
+    # -- events ------------------------------------------------------------------
+
+    def _schedule(self, t: float, kind: str, flow: int, packet: Packet | None) -> None:
+        self._counter += 1
+        heapq.heappush(self._events, (t, self._counter, kind, flow, packet))
+
+    def run_until(self, t_end: float) -> None:
+        if t_end < self.now:
+            raise ValueError("cannot run backwards in time")
+        while self._events and self._events[0][0] <= t_end:
+            t, _count, kind, flow_index, packet = heapq.heappop(self._events)
+            self.now = t
+            if kind == "send":
+                self._on_send_timer(flow_index)
+            elif kind == "egress":
+                self._on_egress()
+            elif kind == "deliver":
+                assert packet is not None
+                self._schedule(self.now + self.link.one_way_delay_s, "ack",
+                               flow_index, packet)
+            elif kind == "ack":
+                assert packet is not None
+                self._on_ack(flow_index, packet)
+            elif kind == "tick":
+                self._on_tick()
+        self.now = t_end
+
+    def _on_send_timer(self, flow_index: int) -> None:
+        flow = self.flows[flow_index]
+        if not flow.sender.can_send():
+            flow.send_blocked = True
+            return
+        packet = Packet(
+            seq=flow.next_seq,
+            size_bytes=flow.sender.mss,
+            sent_time=self.now,
+            delivered_at_send=flow.sender.delivered_bytes,
+            delivered_time_at_send=flow.sender.delivered_time,
+        )
+        flow.next_seq += 1
+        flow.sender.register_send(packet)
+        if self.rng.random() >= self.link.loss_rate:
+            if not self.link.queue_full:
+                packet.ingress_time = self.now
+                # Tag the owner flow on the packet for demultiplexing.
+                packet.owner = flow_index  # type: ignore[attr-defined]
+                self.link.queue.append(packet)
+                if not self.link.busy:
+                    self._start_service()
+            else:
+                self.link.drops_queue += 1
+        else:
+            self.link.drops_loss += 1
+        rate = max(flow.sender.pacing_rate_bps(self.now), 1e3)
+        self._schedule(self.now + flow.sender.mss * 8.0 / rate, "send",
+                       flow_index, None)
+
+    def _start_service(self) -> None:
+        self.link.busy = True
+        head = self.link.queue[0]
+        head.service_start = self.now
+        self._schedule(self.now + self.link.service_time(head), "egress", -1, None)
+
+    def _on_egress(self) -> None:
+        packet = self.link.queue.popleft()
+        owner = packet.owner  # type: ignore[attr-defined]
+        self.link.bytes_delivered += packet.size_bytes
+        self.flows[owner].delivered_bytes_interval += packet.size_bytes
+        self._schedule(self.now + self.link.one_way_delay_s, "deliver", owner, packet)
+        if self.link.queue:
+            self._start_service()
+        else:
+            self.link.busy = False
+
+    def _on_ack(self, flow_index: int, packet: Packet) -> None:
+        flow = self.flows[flow_index]
+        flow.sender.handle_ack(packet, self.now)
+        flow.last_progress = self.now
+        if flow.send_blocked and flow.sender.can_send():
+            flow.send_blocked = False
+            self._schedule(self.now, "send", flow_index, None)
+
+    def _on_tick(self) -> None:
+        for index, flow in enumerate(self.flows):
+            sender = flow.sender
+            if sender.inflight and self.now - flow.last_progress > sender.rto_s():
+                sender.handle_timeout(self.now)
+                flow.last_progress = self.now
+                if flow.send_blocked:
+                    flow.send_blocked = False
+                    self._schedule(self.now, "send", index, None)
+        self._schedule(self.now + _TICK_S, "tick", -1, None)
+
+    # -- controller API ---------------------------------------------------------------
+
+    def set_conditions(self, bandwidth_mbps: float, latency_ms: float,
+                       loss_rate: float) -> None:
+        self.link.set_conditions(bandwidth_mbps, latency_ms, loss_rate)
+
+    def run_interval(self, dt: float) -> list[FlowStats]:
+        """Advance ``dt`` seconds; return per-flow delivery stats."""
+        if dt <= 0:
+            raise ValueError("interval must be positive")
+        for flow in self.flows:
+            flow.delivered_bytes_interval = 0
+        self.run_until(self.now + dt)
+        return [
+            FlowStats(
+                bytes_delivered=flow.delivered_bytes_interval,
+                throughput_mbps=flow.delivered_bytes_interval * 8.0 / dt / 1e6,
+            )
+            for flow in self.flows
+        ]
+
+    def fairness(self, stats: list[FlowStats]) -> float:
+        return jain_fairness(s.throughput_mbps for s in stats)

@@ -1,0 +1,217 @@
+"""Discrete-event, packet-level single-bottleneck emulator.
+
+Models the path the paper emulated with its modified Mahimahi: a paced
+sender, a droptail queue served at a time-varying rate, symmetric
+propagation delay, and Bernoulli random loss on the data direction.
+
+Event kinds:
+
+- ``send``    -- the sender's pacing timer fires; transmit if cwnd allows,
+- ``egress``  -- the head-of-line packet finishes transmission,
+- ``deliver`` -- a packet reaches the receiver (one-way delay later),
+- ``ack``     -- the ack reaches the sender (another one-way delay later),
+- ``tick``    -- periodic RTO check.
+
+The controller (adversary or trace player) drives the emulator with
+:meth:`PacketNetworkEmulator.run_interval`, which advances simulated time
+by one interval (30 ms in the paper) and returns that interval's link
+statistics -- exactly the adversary's observation.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cc.link import TimeVaryingLink
+from repro.cc.packet import Packet
+from repro.cc.protocols.base import Sender
+
+__all__ = ["IntervalStats", "PacketNetworkEmulator"]
+
+_TICK_S = 0.1
+
+
+@dataclass
+class IntervalStats:
+    """Link statistics over one controller interval."""
+
+    t_start: float
+    t_end: float
+    bandwidth_mbps: float
+    latency_ms: float
+    loss_rate: float
+    bytes_delivered: int
+    utilization: float
+    mean_queue_sojourn_s: float
+    queue_delay_end_s: float
+    drops_loss: int
+    drops_queue: int
+
+    @property
+    def throughput_mbps(self) -> float:
+        span = self.t_end - self.t_start
+        return self.bytes_delivered * 8.0 / span / 1e6 if span > 0 else 0.0
+
+
+class PacketNetworkEmulator:
+    """Couples one sender to one time-varying link."""
+
+    def __init__(
+        self,
+        sender: Sender,
+        link: TimeVaryingLink,
+        seed: int = 0,
+    ) -> None:
+        self.sender = sender
+        self.link = link
+        self.rng = np.random.default_rng(seed)
+        self.now = 0.0
+        self._events: list[tuple[float, int, str, Packet | None]] = []
+        self._counter = 0
+        self._next_seq = 0
+        self._send_blocked = False
+        self._last_progress = 0.0
+        # Per-interval accumulators.
+        self._interval_bytes = 0
+        self._interval_sojourns: list[float] = []
+        self._interval_drops_loss = 0
+        self._interval_drops_queue = 0
+        self.history: list[IntervalStats] = []
+        self._schedule(0.0, "send", None)
+        self._schedule(_TICK_S, "tick", None)
+
+    # -- event plumbing -------------------------------------------------------
+
+    def _schedule(self, t: float, kind: str, packet: Packet | None) -> None:
+        self._counter += 1
+        heapq.heappush(self._events, (t, self._counter, kind, packet))
+
+    def run_until(self, t_end: float) -> None:
+        """Process all events up to simulated time ``t_end``."""
+        if t_end < self.now:
+            raise ValueError("cannot run backwards in time")
+        while self._events and self._events[0][0] <= t_end:
+            t, _count, kind, packet = heapq.heappop(self._events)
+            self.now = t
+            if kind == "send":
+                self._on_send_timer()
+            elif kind == "egress":
+                self._on_egress()
+            elif kind == "deliver":
+                assert packet is not None
+                self._schedule(self.now + self.link.one_way_delay_s, "ack", packet)
+            elif kind == "ack":
+                assert packet is not None
+                self._on_ack(packet)
+            elif kind == "tick":
+                self._on_tick()
+        self.now = t_end
+
+    # -- sender side ------------------------------------------------------------
+
+    def _transmit(self) -> None:
+        sender = self.sender
+        packet = Packet(
+            seq=self._next_seq,
+            size_bytes=sender.mss,
+            sent_time=self.now,
+            delivered_at_send=sender.delivered_bytes,
+            delivered_time_at_send=sender.delivered_time,
+        )
+        self._next_seq += 1
+        sender.register_send(packet)
+        if self.rng.random() < self.link.loss_rate:
+            self.link.drops_loss += 1
+            self._interval_drops_loss += 1
+            return
+        if self.link.queue_full:
+            self.link.drops_queue += 1
+            self._interval_drops_queue += 1
+            return
+        packet.ingress_time = self.now
+        self.link.queue.append(packet)
+        if not self.link.busy:
+            self._start_service()
+
+    def _on_send_timer(self) -> None:
+        if not self.sender.can_send():
+            self._send_blocked = True
+            return
+        self._transmit()
+        rate = max(self.sender.pacing_rate_bps(self.now), 1e3)
+        self._schedule(self.now + self.sender.mss * 8.0 / rate, "send", None)
+
+    def _on_ack(self, packet: Packet) -> None:
+        self.sender.handle_ack(packet, self.now)
+        self._last_progress = self.now
+        if self._send_blocked and self.sender.can_send():
+            self._send_blocked = False
+            self._schedule(self.now, "send", None)
+
+    def _on_tick(self) -> None:
+        sender = self.sender
+        if sender.inflight and self.now - self._last_progress > sender.rto_s():
+            sender.handle_timeout(self.now)
+            self._last_progress = self.now
+            if self._send_blocked:
+                self._send_blocked = False
+                self._schedule(self.now, "send", None)
+        self._schedule(self.now + _TICK_S, "tick", None)
+
+    # -- link side -----------------------------------------------------------------
+
+    def _start_service(self) -> None:
+        self.link.busy = True
+        head = self.link.queue[0]
+        head.service_start = self.now
+        self._schedule(self.now + self.link.service_time(head), "egress", None)
+
+    def _on_egress(self) -> None:
+        packet = self.link.queue.popleft()
+        self.link.bytes_delivered += packet.size_bytes
+        self._interval_bytes += packet.size_bytes
+        self._interval_sojourns.append(max(packet.service_start - packet.ingress_time, 0.0))
+        self._schedule(self.now + self.link.one_way_delay_s, "deliver", packet)
+        if self.link.queue:
+            self._start_service()
+        else:
+            self.link.busy = False
+
+    # -- controller API ----------------------------------------------------------------
+
+    def set_conditions(
+        self, bandwidth_mbps: float, latency_ms: float, loss_rate: float
+    ) -> None:
+        self.link.set_conditions(bandwidth_mbps, latency_ms, loss_rate)
+
+    def run_interval(self, dt: float) -> IntervalStats:
+        """Advance ``dt`` seconds and return this interval's link stats."""
+        if dt <= 0:
+            raise ValueError("interval must be positive")
+        t_start = self.now
+        self._interval_bytes = 0
+        self._interval_sojourns = []
+        self._interval_drops_loss = 0
+        self._interval_drops_queue = 0
+        self.run_until(t_start + dt)
+        capacity_bytes = self.link.rate_bps * dt / 8.0
+        stats = IntervalStats(
+            t_start=t_start,
+            t_end=self.now,
+            bandwidth_mbps=self.link.bandwidth_mbps,
+            latency_ms=self.link.latency_ms,
+            loss_rate=self.link.loss_rate,
+            bytes_delivered=self._interval_bytes,
+            utilization=min(self._interval_bytes / capacity_bytes, 1.0),
+            mean_queue_sojourn_s=(
+                float(np.mean(self._interval_sojourns)) if self._interval_sojourns else 0.0
+            ),
+            queue_delay_end_s=self.link.queuing_delay_estimate_s(),
+            drops_loss=self._interval_drops_loss,
+            drops_queue=self._interval_drops_queue,
+        )
+        self.history.append(stats)
+        return stats

@@ -1,0 +1,36 @@
+"""Packet and ACK records exchanged between the emulator and senders."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["AckInfo", "Packet"]
+
+MSS_BYTES = 1500
+
+
+@dataclass
+class Packet:
+    """One MSS-sized data packet in flight."""
+
+    seq: int
+    size_bytes: int
+    sent_time: float
+    # Delivery-rate sampling state (Cheng et al., "Delivery Rate Estimation"):
+    # snapshot of the connection's delivered counter when this packet left.
+    delivered_at_send: int
+    delivered_time_at_send: float
+    ingress_time: float = 0.0
+    service_start: float = 0.0
+
+
+@dataclass
+class AckInfo:
+    """What the sender learns when a packet is acknowledged."""
+
+    seq: int
+    now: float
+    rtt_s: float
+    delivered_bytes: int
+    delivery_rate_bps: float
+    queue_sojourn_s: float

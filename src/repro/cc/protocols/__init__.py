@@ -1,0 +1,17 @@
+"""Congestion-control sender implementations."""
+
+from repro.cc.protocols.base import Sender
+from repro.cc.protocols.bbr import BBRSender
+from repro.cc.protocols.copa import CopaSender
+from repro.cc.protocols.cubic import CubicSender
+from repro.cc.protocols.reno import RenoSender
+from repro.cc.protocols.vivace import VivaceSender
+
+__all__ = [
+    "BBRSender",
+    "CopaSender",
+    "CubicSender",
+    "RenoSender",
+    "Sender",
+    "VivaceSender",
+]

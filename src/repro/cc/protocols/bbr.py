@@ -1,0 +1,211 @@
+"""BBRv1 (Cardwell et al. 2016) -- the paper's congestion-control case study.
+
+Implements the mechanisms whose interaction the paper's adversary
+exploits (section 4, Figures 5 and 6):
+
+- a **windowed-max bandwidth filter** over the last 10 round trips,
+- a **windowed-min RTprop filter** over the last 10 seconds,
+- the **state machine** STARTUP -> DRAIN -> PROBE_BW (8-phase pacing-gain
+  cycle 1.25, 0.75, 1, ...) with **PROBE_RTT** entered whenever the RTprop
+  estimate has not been refreshed for 10 seconds.
+
+"The rapid fluctuations in bandwidth and latency correspond exactly to the
+probing phases of BBR, and cause BBR to choose a very low sending rate" --
+an adversary that poisons the filters exactly while they are receptive
+(bandwidth during the 1.25x probe, latency around PROBE_RTT) drags both
+estimates down, and BBR's sending rate with them.
+
+Loss is deliberately ignored by the rate control, as in BBRv1.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.cc.packet import AckInfo
+from repro.cc.protocols.base import Sender
+
+__all__ = ["BBRSender"]
+
+
+class BBRSender(Sender):
+    """Model-based congestion control: pace at gain * estimated bottleneck bw."""
+
+    name = "bbr"
+
+    HIGH_GAIN = 2.885  # 2/ln(2)
+    CYCLE_GAINS = (1.25, 0.75, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0)
+    STARTUP, DRAIN, PROBE_BW, PROBE_RTT = "STARTUP", "DRAIN", "PROBE_BW", "PROBE_RTT"
+
+    def __init__(
+        self,
+        probe_rtt_interval_s: float = 10.0,
+        probe_rtt_duration_s: float = 0.2,
+        bw_window_rounds: int = 10,
+        rtprop_window_s: float = 10.0,
+        min_cwnd_packets: int = 4,
+        init_bw_mbps: float = 1.0,
+    ) -> None:
+        super().__init__()
+        self.probe_rtt_interval_s = probe_rtt_interval_s
+        self.probe_rtt_duration_s = probe_rtt_duration_s
+        self.bw_window_rounds = bw_window_rounds
+        self.rtprop_window_s = rtprop_window_s
+        self.min_cwnd_packets = min_cwnd_packets
+        self.init_bw_bps = init_bw_mbps * 1e6
+
+        self.mode = self.STARTUP
+        # Max-bandwidth filter: a monotonic (decreasing-rate) deque gives
+        # the windowed max over rounds in O(1) per ack.
+        self._bw_samples: deque[tuple[int, float]] = deque()  # (round, bps)
+        # Min-RTT filter: the kernel's scalar filter -- a new minimum (or
+        # an expired window) replaces the estimate and restamps it.
+        self._min_rtt_s: float | None = None
+        self._rtprop_expired = False
+        self.round_count = 0
+        self._next_round_delivered = 0
+        self._full_bw = 0.0
+        self._full_bw_count = 0
+        self.filled_pipe = False
+        self._last_round_checked = -1
+        self.cycle_index = 0
+        self._cycle_start = 0.0
+        self._probe_rtt_done: float | None = None
+        self._rtprop_stamp = 0.0
+        self.mode_log: list[tuple[float, str]] = [(0.0, self.STARTUP)]
+
+    # -- filters --------------------------------------------------------------
+
+    @property
+    def max_bw_bps(self) -> float:
+        """Windowed-max delivery rate; the init value before any sample."""
+        if not self._bw_samples:
+            return self.init_bw_bps
+        return self._bw_samples[0][1]
+
+    @property
+    def rtprop_s(self) -> float | None:
+        return self._min_rtt_s
+
+    def _update_filters(self, ack: AckInfo) -> None:
+        if ack.delivery_rate_bps > 0:
+            while self._bw_samples and self._bw_samples[-1][1] <= ack.delivery_rate_bps:
+                self._bw_samples.pop()
+            self._bw_samples.append((self.round_count, ack.delivery_rate_bps))
+            cutoff = self.round_count - self.bw_window_rounds
+            while self._bw_samples and self._bw_samples[0][0] < cutoff:
+                self._bw_samples.popleft()
+
+        # Kernel-style min filter: a strictly lower sample, or an expired
+        # window, replaces the estimate and restamps it.  The pre-update
+        # expiry flag is what triggers PROBE_RTT in ``_update_state``.
+        self._rtprop_expired = (
+            self._min_rtt_s is not None
+            and ack.now - self._rtprop_stamp > self.rtprop_window_s
+        )
+        if self._min_rtt_s is None or ack.rtt_s < self._min_rtt_s or self._rtprop_expired:
+            self._min_rtt_s = ack.rtt_s
+            self._rtprop_stamp = ack.now
+
+    # -- state machine --------------------------------------------------------
+
+    def _set_mode(self, mode: str, now: float) -> None:
+        if mode != self.mode:
+            self.mode = mode
+            self.mode_log.append((now, mode))
+
+    def _check_full_pipe(self) -> None:
+        if self.filled_pipe or self.round_count <= self._last_round_checked:
+            return
+        self._last_round_checked = self.round_count
+        bw = self.max_bw_bps
+        if bw >= self._full_bw * 1.25:
+            self._full_bw = bw
+            self._full_bw_count = 0
+            return
+        self._full_bw_count += 1
+        if self._full_bw_count >= 3:
+            self.filled_pipe = True
+
+    def _bdp_packets(self) -> float:
+        rtprop = self.rtprop_s
+        if rtprop is None:
+            return 10.0
+        return max(self.bdp_packets(self.max_bw_bps, rtprop), 1.0)
+
+    def _update_state(self, now: float) -> None:
+        if self.mode == self.STARTUP:
+            self._check_full_pipe()
+            if self.filled_pipe:
+                self._set_mode(self.DRAIN, now)
+        if self.mode == self.DRAIN and self.inflight_packets <= self._bdp_packets():
+            self._set_mode(self.PROBE_BW, now)
+            self.cycle_index = 0
+            self._cycle_start = now
+        if self.mode == self.PROBE_BW:
+            rtprop = self.rtprop_s or 0.05
+            if now - self._cycle_start > rtprop:
+                self.cycle_index = (self.cycle_index + 1) % len(self.CYCLE_GAINS)
+                self._cycle_start = now
+        # PROBE_RTT entry: the RTprop estimate went stale (no sample at or
+        # below the running minimum for a full window).
+        if self.mode != self.PROBE_RTT and self._rtprop_expired:
+            self._rtprop_expired = False
+            self._set_mode(self.PROBE_RTT, now)
+            self._probe_rtt_done = now + self.probe_rtt_duration_s
+        if self.mode == self.PROBE_RTT and self._probe_rtt_done is not None:
+            if now >= self._probe_rtt_done:
+                self._rtprop_stamp = now
+                self._probe_rtt_done = None
+                if self.filled_pipe:
+                    self._set_mode(self.PROBE_BW, now)
+                    self.cycle_index = 0
+                    self._cycle_start = now
+                else:
+                    self._set_mode(self.STARTUP, now)
+
+    # -- Sender hooks -----------------------------------------------------------
+
+    def on_ack(self, ack: AckInfo) -> None:
+        self._update_filters(ack)
+        self._update_state(ack.now)
+
+    def handle_ack(self, packet, now: float) -> None:  # noqa: D102 - see base
+        if packet.seq in self.inflight and packet.delivered_at_send >= self._next_round_delivered:
+            self.round_count += 1
+            self._next_round_delivered = self.delivered_bytes + packet.size_bytes
+        super().handle_ack(packet, now)
+
+    def on_packet_lost(self, seq: int, now: float) -> None:
+        # BBRv1's rate control disregards individual losses.
+        return
+
+    def on_timeout(self, now: float) -> None:
+        # Conservative restart: forget that the pipe was full so STARTUP
+        # re-probes, but keep the filters (they window out naturally).
+        self.filled_pipe = False
+        self._full_bw = 0.0
+        self._full_bw_count = 0
+        self._set_mode(self.STARTUP, now)
+
+    # -- controls ------------------------------------------------------------------
+
+    @property
+    def pacing_gain(self) -> float:
+        if self.mode == self.STARTUP:
+            return self.HIGH_GAIN
+        if self.mode == self.DRAIN:
+            return 1.0 / self.HIGH_GAIN
+        if self.mode == self.PROBE_RTT:
+            return 1.0
+        return self.CYCLE_GAINS[self.cycle_index]
+
+    def pacing_rate_bps(self, now: float) -> float:
+        return self.pacing_gain * self.max_bw_bps
+
+    @property
+    def cwnd_packets(self) -> int:
+        if self.mode == self.PROBE_RTT:
+            return self.min_cwnd_packets
+        gain = self.HIGH_GAIN if self.mode == self.STARTUP else 2.0
+        return max(int(gain * self._bdp_packets()), self.min_cwnd_packets)

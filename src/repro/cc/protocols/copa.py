@@ -1,0 +1,120 @@
+"""Copa (Arun & Balakrishnan, NSDI '18) -- simplified default mode.
+
+The paper lists Copa among the recently proposed protocols that "do not
+have as clear weaknesses" as loss-based TCP (section 4); implementing it
+lets the adversarial framework be pointed at a delay-based target.
+
+Model: Copa steers its sending rate toward ``1 / (delta * dq)`` packets
+per RTT-second, where ``dq`` is the measured queuing delay (RTTstanding
+minus RTTmin).  The window moves toward the target by ``v / (delta *
+cwnd)`` per ack, with the velocity ``v`` doubling each RTT the direction
+is stable and resetting on reversal.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.cc.packet import AckInfo
+from repro.cc.protocols.base import Sender
+
+__all__ = ["CopaSender"]
+
+
+class CopaSender(Sender):
+    """Delay-based congestion control targeting low standing queues."""
+
+    name = "copa"
+
+    def __init__(
+        self,
+        delta: float = 0.5,
+        initial_cwnd: float = 10.0,
+        rtt_min_window_s: float = 10.0,
+        standing_window_factor: float = 0.5,
+    ) -> None:
+        super().__init__()
+        if delta <= 0:
+            raise ValueError("delta must be positive")
+        self.delta = delta
+        self.cwnd = float(initial_cwnd)
+        self.rtt_min_window_s = rtt_min_window_s
+        self.standing_window_factor = standing_window_factor
+        # Windowed-min filters as monotonic deques of (time, rtt).
+        self._rtt_min: deque[tuple[float, float]] = deque()
+        self._rtt_standing: deque[tuple[float, float]] = deque()
+        self.velocity = 1.0
+        self._direction = 0  # +1 growing, -1 shrinking
+        self._direction_since = 0.0
+        self._last_rtt_update = 0.0
+
+    # -- filters --------------------------------------------------------------
+
+    @staticmethod
+    def _push_min(filt: deque, now: float, rtt: float, window: float) -> None:
+        while filt and filt[-1][1] >= rtt:
+            filt.pop()
+        filt.append((now, rtt))
+        while filt and filt[0][0] < now - window:
+            filt.popleft()
+
+    @property
+    def rtt_min_s(self) -> float | None:
+        return self._rtt_min[0][1] if self._rtt_min else None
+
+    @property
+    def rtt_standing_s(self) -> float | None:
+        return self._rtt_standing[0][1] if self._rtt_standing else None
+
+    def queuing_delay_s(self) -> float:
+        if self.rtt_min_s is None or self.rtt_standing_s is None:
+            return 0.0
+        return max(self.rtt_standing_s - self.rtt_min_s, 0.0)
+
+    # -- hooks -----------------------------------------------------------------
+
+    def on_ack(self, ack: AckInfo) -> None:
+        srtt = self.srtt_s if self.srtt_s is not None else ack.rtt_s
+        self._push_min(self._rtt_min, ack.now, ack.rtt_s, self.rtt_min_window_s)
+        self._push_min(
+            self._rtt_standing, ack.now, ack.rtt_s,
+            max(self.standing_window_factor * srtt, 0.01),
+        )
+
+        dq = self.queuing_delay_s()
+        if dq <= 1e-6:
+            target_rate = float("inf")
+        else:
+            target_rate = 1.0 / (self.delta * dq)  # packets per second
+        current_rate = self.cwnd / max(self.rtt_standing_s or srtt, 1e-6)
+
+        direction = 1 if current_rate < target_rate else -1
+        if direction != self._direction:
+            self._direction = direction
+            self._direction_since = ack.now
+            self.velocity = 1.0
+        elif ack.now - self._direction_since > 2.0 * srtt:
+            # Stable direction for a couple of RTTs: accelerate.
+            self.velocity = min(self.velocity * 2.0, self.cwnd)
+            self._direction_since = ack.now
+        self.cwnd += direction * self.velocity / (self.delta * self.cwnd)
+        self.cwnd = max(self.cwnd, 2.0)
+
+    def on_packet_lost(self, seq: int, now: float) -> None:
+        # Default-mode Copa reacts to loss only through the delay signal.
+        return
+
+    def on_timeout(self, now: float) -> None:
+        self.cwnd = 2.0
+        self.velocity = 1.0
+        self._direction = 0
+
+    # -- controls ------------------------------------------------------------------
+
+    @property
+    def cwnd_packets(self) -> int:
+        return max(int(self.cwnd), 2)
+
+    def pacing_rate_bps(self, now: float) -> float:
+        rtt = self.rtt_standing_s or self.srtt_s or 0.1
+        return 2.0 * self.cwnd * self.mss * 8.0 / rtt

@@ -1,0 +1,167 @@
+"""PCC Vivace (Dong et al., NSDI '18) -- simplified online-learning model.
+
+Like Copa, Vivace is named by the paper as a modern protocol without the
+trivial loss weakness of Cubic/Reno (section 4).  This model keeps the
+essential structure: the sender runs monitor intervals (MIs) at perturbed
+rates ``r(1 + eps)`` and ``r(1 - eps)``, scores each MI with the Vivace
+utility
+
+    U(r) = r^0.9 - b * r * max(dRTT/dt, 0) - c * r * loss_rate
+
+(rate in Mbps), estimates the utility gradient, and takes a
+confidence-amplified gradient step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cc.packet import AckInfo
+from repro.cc.protocols.base import Sender
+
+__all__ = ["VivaceSender"]
+
+
+@dataclass
+class _MonitorInterval:
+    start: float
+    duration: float
+    rate_mbps: float
+    acked: int = 0
+    lost_before: int = 0
+    first_rtt: float | None = None
+    last_rtt: float | None = None
+    first_rtt_time: float = 0.0
+    last_rtt_time: float = 0.0
+
+
+class VivaceSender(Sender):
+    """Utility-gradient rate control."""
+
+    name = "vivace"
+
+    EXPONENT = 0.9
+    LATENCY_COEF = 900.0
+    LOSS_COEF = 11.35
+
+    def __init__(
+        self,
+        initial_rate_mbps: float = 2.0,
+        epsilon: float = 0.05,
+        base_step_mbps: float = 0.25,
+        min_rate_mbps: float = 0.2,
+        max_rate_mbps: float = 200.0,
+    ) -> None:
+        super().__init__()
+        self.rate_mbps = float(initial_rate_mbps)
+        self.epsilon = epsilon
+        self.base_step_mbps = base_step_mbps
+        self.min_rate_mbps = min_rate_mbps
+        self.max_rate_mbps = max_rate_mbps
+        self._mi: _MonitorInterval | None = None
+        self._pending: list[tuple[float, float]] = []  # (tested rate, utility)
+        self._phase = 0  # 0: test r(1+eps), 1: test r(1-eps)
+        self._confidence = 1
+        self._last_direction = 0
+        self.utility_log: list[tuple[float, float]] = []
+
+    # -- monitor intervals ------------------------------------------------------
+
+    def _mi_rate(self) -> float:
+        sign = 1.0 if self._phase == 0 else -1.0
+        return self.rate_mbps * (1.0 + sign * self.epsilon)
+
+    def _start_mi(self, now: float) -> None:
+        duration = max(self.srtt_s or 0.05, 0.02)
+        self._mi = _MonitorInterval(
+            start=now,
+            duration=duration,
+            rate_mbps=self._mi_rate(),
+            lost_before=self.total_lost,
+        )
+
+    def _utility(self, mi: _MonitorInterval) -> float:
+        span = max(mi.last_rtt_time - mi.first_rtt_time, 1e-6)
+        if mi.first_rtt is not None and mi.last_rtt is not None and mi.acked > 1:
+            rtt_slope = max((mi.last_rtt - mi.first_rtt) / span, 0.0)
+        else:
+            rtt_slope = 0.0
+        lost = self.total_lost - mi.lost_before
+        total = mi.acked + lost
+        loss_rate = lost / total if total else 0.0
+        rate = mi.rate_mbps
+        return (
+            rate**self.EXPONENT
+            - self.LATENCY_COEF * rate * rtt_slope
+            - self.LOSS_COEF * rate * loss_rate
+        )
+
+    def _finish_mi(self, now: float) -> None:
+        assert self._mi is not None
+        utility = self._utility(self._mi)
+        self.utility_log.append((now, utility))
+        self._pending.append((self._mi.rate_mbps, utility))
+        self._mi = None
+        if len(self._pending) == 2:
+            self._gradient_step()
+            self._pending = []
+            self._phase = 0
+        else:
+            self._phase = 1
+
+    def _gradient_step(self) -> None:
+        (r_hi, u_hi), (r_lo, u_lo) = self._pending
+        if r_hi < r_lo:
+            r_hi, r_lo, u_hi, u_lo = r_lo, r_hi, u_lo, u_hi
+        if r_hi - r_lo < 1e-9:
+            return
+        gradient = (u_hi - u_lo) / (r_hi - r_lo)
+        direction = 1 if gradient > 0 else -1
+        if direction == self._last_direction:
+            self._confidence = min(self._confidence + 1, 8)
+        else:
+            self._confidence = 1
+        self._last_direction = direction
+        step = self._confidence * self.base_step_mbps * direction
+        self.rate_mbps = float(
+            min(max(self.rate_mbps + step, self.min_rate_mbps), self.max_rate_mbps)
+        )
+
+    # -- hooks ---------------------------------------------------------------------
+
+    def on_ack(self, ack: AckInfo) -> None:
+        if self._mi is None:
+            self._start_mi(ack.now)
+        mi = self._mi
+        assert mi is not None
+        mi.acked += 1
+        if mi.first_rtt is None:
+            mi.first_rtt = ack.rtt_s
+            mi.first_rtt_time = ack.now
+        mi.last_rtt = ack.rtt_s
+        mi.last_rtt_time = ack.now
+        if ack.now - mi.start >= mi.duration:
+            self._finish_mi(ack.now)
+
+    def on_packet_lost(self, seq: int, now: float) -> None:
+        # Loss enters through the MI utility; no immediate rate cut.
+        return
+
+    def on_timeout(self, now: float) -> None:
+        self.rate_mbps = max(self.rate_mbps / 2.0, self.min_rate_mbps)
+        self._mi = None
+        self._pending = []
+        self._phase = 0
+        self._confidence = 1
+
+    # -- controls --------------------------------------------------------------------
+
+    @property
+    def cwnd_packets(self) -> int:
+        # Rate-based: the window only bounds worst-case inflight.
+        rtt = self.srtt_s or 0.1
+        bdp = self.rate_mbps * 1e6 * rtt / 8.0 / self.mss
+        return max(int(2.0 * bdp) + 4, 4)
+
+    def pacing_rate_bps(self, now: float) -> float:
+        return self._mi_rate() * 1e6 if self._mi is None else self._mi.rate_mbps * 1e6

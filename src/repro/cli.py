@@ -1,0 +1,226 @@
+"""Command-line interface: train adversaries, generate traces, evaluate.
+
+Usage examples::
+
+    python -m repro.cli train-abr-adversary --target mpc --steps 50000 \
+        --out adv_mpc.npz --traces-out anti_mpc.jsonl --n-traces 50
+    python -m repro.cli evaluate-abr --traces anti_mpc.jsonl --chunk-indexed
+    python -m repro.cli train-cc-adversary --steps 150000 \
+        --traces-out anti_bbr.jsonl --n-traces 5
+    python -m repro.cli evaluate-cc --traces anti_bbr.jsonl --sender bbr
+    python -m repro.cli make-dataset --kind 3g --count 50 --out corpus.jsonl
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.abr.protocols import MPC, BufferBased, RateBased, run_session
+from repro.abr.video import Video
+from repro.adversary.abr_env import train_abr_adversary
+from repro.adversary.cc_env import train_cc_adversary
+from repro.adversary.generation import generate_abr_traces, generate_cc_traces
+from repro.analysis import format_table
+from repro.cc import BBRSender, CubicSender, RenoSender
+from repro.cc.metrics import run_sender_on_trace
+from repro.traces.io import load_corpus, save_corpus
+from repro.traces.synthetic import make_dataset
+
+_ABR_TARGETS = {
+    "bb": BufferBased,
+    "mpc": lambda: MPC(robust=False),
+    "robust-mpc": MPC,
+    "rb": RateBased,
+}
+_SENDERS = {"bbr": BBRSender, "cubic": CubicSender, "reno": RenoSender}
+
+
+def _cmd_train_abr_adversary(args: argparse.Namespace) -> int:
+    video = Video.synthetic(n_chunks=args.chunks, seed=args.video_seed)
+    target = _ABR_TARGETS[args.target]()
+    print(f"training adversary vs {args.target} for {args.steps} steps ...")
+    result = train_abr_adversary(
+        target, video, total_steps=args.steps, seed=args.seed,
+        smoothing_weight=args.smoothing_weight, goal=args.goal,
+    )
+    rewards = [h["mean_episode_reward"] for h in result.history]
+    print(f"adversary episode reward: {rewards[0]:.1f} -> {rewards[-1]:.1f}")
+    if args.out:
+        result.trainer.save(args.out)
+        print(f"saved adversary model to {args.out}")
+    if args.traces_out:
+        rolls = generate_abr_traces(result.trainer, result.env, args.n_traces)
+        save_corpus([r.trace for r in rolls], args.traces_out)
+        qoe = float(np.mean([r.target_qoe_mean for r in rolls]))
+        print(f"wrote {args.n_traces} traces to {args.traces_out} "
+              f"(target mean QoE {qoe:.3f})")
+    return 0
+
+
+def _cmd_train_cc_adversary(args: argparse.Namespace) -> int:
+    sender_cls = _SENDERS[args.sender]
+    print(f"training adversary vs {args.sender} for {args.steps} steps ...")
+    result = train_cc_adversary(
+        sender_cls, total_steps=args.steps, seed=args.seed,
+        episode_intervals=args.episode_intervals,
+    )
+    rewards = [h["mean_episode_reward"] for h in result.history]
+    print(f"adversary episode reward: {rewards[0]:.1f} -> {rewards[-1]:.1f}")
+    if args.out:
+        result.trainer.save(args.out)
+        print(f"saved adversary model to {args.out}")
+    if args.traces_out:
+        rolls = generate_cc_traces(result.trainer, result.env, args.n_traces)
+        save_corpus([r.trace for r in rolls], args.traces_out)
+        frac = float(np.mean([r.capacity_fraction for r in rolls]))
+        print(f"wrote {args.n_traces} traces to {args.traces_out} "
+              f"(target at {frac:.0%} of capacity)")
+    return 0
+
+
+def _cmd_evaluate_abr(args: argparse.Namespace) -> int:
+    video = Video.synthetic(n_chunks=args.chunks, seed=args.video_seed)
+    traces = load_corpus(args.traces)
+    rows = []
+    for name, factory in _ABR_TARGETS.items():
+        qoes = [
+            run_session(video, t, factory(), chunk_indexed=args.chunk_indexed).qoe_mean
+            for t in traces
+        ]
+        rows.append([name, float(np.mean(qoes)), float(np.min(qoes))])
+    print(format_table(["protocol", "mean QoE", "min QoE"], rows))
+    return 0
+
+
+def _cmd_evaluate_cc(args: argparse.Namespace) -> int:
+    traces = load_corpus(args.traces)
+    sender_cls = _SENDERS[args.sender]
+    rows = []
+    for i, trace in enumerate(traces):
+        run = run_sender_on_trace(sender_cls(), trace, seed=args.seed + i)
+        rows.append([trace.name, run.mean_throughput_mbps, run.capacity_fraction])
+    print(format_table(["trace", "throughput (Mbps)", "capacity fraction"], rows))
+    return 0
+
+
+def _cmd_regression_build(args: argparse.Namespace) -> int:
+    from repro.adversary.regression import AdversarialRegressionSuite
+
+    video = Video.synthetic(n_chunks=args.chunks, seed=args.video_seed)
+    protocol = _ABR_TARGETS[args.protocol]()
+    suite = AdversarialRegressionSuite(video, margin=args.margin)
+    print(f"hunting worst cases against {args.protocol} "
+          f"({args.steps} adversary steps) ...")
+    added = suite.refresh(protocol, adversary_steps=args.steps,
+                          n_traces=args.n_traces, keep_worst=args.keep,
+                          seed=args.seed)
+    suite.save(args.out)
+    print(f"recorded {len(added)} cases to {args.out}; thresholds: "
+          + ", ".join(f"{c.min_qoe:.2f}" for c in added))
+    return 0
+
+
+def _cmd_regression_check(args: argparse.Namespace) -> int:
+    from repro.adversary.regression import AdversarialRegressionSuite
+
+    video = Video.synthetic(n_chunks=args.chunks, seed=args.video_seed)
+    suite = AdversarialRegressionSuite(video)
+    suite.load(args.suite)
+    protocol = _ABR_TARGETS[args.protocol]()
+    report = suite.check(protocol)
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
+def _cmd_make_dataset(args: argparse.Namespace) -> int:
+    traces = make_dataset(args.kind, args.count, seed=args.seed,
+                          duration=args.duration)
+    save_corpus(traces, args.out)
+    mean_bw = float(np.mean([t.mean_bandwidth() for t in traces]))
+    print(f"wrote {len(traces)} {args.kind} traces to {args.out} "
+          f"(mean bandwidth {mean_bw:.2f} Mbps)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("train-abr-adversary", help="train an adversary vs an ABR protocol")
+    p.add_argument("--target", choices=sorted(_ABR_TARGETS), default="bb")
+    p.add_argument("--steps", type=int, default=40_000)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--chunks", type=int, default=48)
+    p.add_argument("--video-seed", type=int, default=1)
+    p.add_argument("--smoothing-weight", type=float, default=1.0)
+    p.add_argument("--goal", choices=("qoe_regret", "rebuffer"), default="qoe_regret")
+    p.add_argument("--out", help="save the trained model (.npz)")
+    p.add_argument("--traces-out", help="write generated traces (JSONL)")
+    p.add_argument("--n-traces", type=int, default=20)
+    p.set_defaults(func=_cmd_train_abr_adversary)
+
+    p = sub.add_parser("train-cc-adversary", help="train an adversary vs a CC sender")
+    p.add_argument("--sender", choices=sorted(_SENDERS), default="bbr")
+    p.add_argument("--steps", type=int, default=100_000)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--episode-intervals", type=int, default=1000)
+    p.add_argument("--out", help="save the trained model (.npz)")
+    p.add_argument("--traces-out", help="write generated traces (JSONL)")
+    p.add_argument("--n-traces", type=int, default=5)
+    p.set_defaults(func=_cmd_train_cc_adversary)
+
+    p = sub.add_parser("evaluate-abr", help="run every ABR protocol over a corpus")
+    p.add_argument("--traces", required=True)
+    p.add_argument("--chunks", type=int, default=48)
+    p.add_argument("--video-seed", type=int, default=1)
+    p.add_argument("--chunk-indexed", action="store_true",
+                   help="apply one bandwidth per chunk (adversarial replay)")
+    p.set_defaults(func=_cmd_evaluate_abr)
+
+    p = sub.add_parser("evaluate-cc", help="replay CC traces against a sender")
+    p.add_argument("--traces", required=True)
+    p.add_argument("--sender", choices=sorted(_SENDERS), default="bbr")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_evaluate_cc)
+
+    p = sub.add_parser("regression-build",
+                       help="record adversarial worst cases as a CI suite")
+    p.add_argument("--protocol", choices=sorted(_ABR_TARGETS), default="bb")
+    p.add_argument("--steps", type=int, default=20_000)
+    p.add_argument("--n-traces", type=int, default=10)
+    p.add_argument("--keep", type=int, default=5)
+    p.add_argument("--margin", type=float, default=0.1)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--chunks", type=int, default=48)
+    p.add_argument("--video-seed", type=int, default=1)
+    p.add_argument("--out", required=True)
+    p.set_defaults(func=_cmd_regression_build)
+
+    p = sub.add_parser("regression-check",
+                       help="replay a recorded suite against a protocol")
+    p.add_argument("--suite", required=True)
+    p.add_argument("--protocol", choices=sorted(_ABR_TARGETS), required=True)
+    p.add_argument("--chunks", type=int, default=48)
+    p.add_argument("--video-seed", type=int, default=1)
+    p.set_defaults(func=_cmd_regression_check)
+
+    p = sub.add_parser("make-dataset", help="generate a synthetic trace corpus")
+    p.add_argument("--kind", choices=("broadband", "3g"), required=True)
+    p.add_argument("--count", type=int, default=50)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--duration", type=float, default=320.0)
+    p.add_argument("--out", required=True)
+    p.set_defaults(func=_cmd_make_dataset)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

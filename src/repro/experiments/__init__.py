@@ -1,0 +1,33 @@
+"""End-to-end experiment runners for the paper's tables and figures.
+
+Each function reproduces one evaluation artifact and returns a structured
+result; the ``benchmarks/`` suite wraps these in pytest-benchmark targets
+and renders the tables/CDF plots, and the ``examples/`` scripts reuse
+them at smaller scale.
+"""
+
+from repro.experiments.abr_suite import (
+    AbrCdfExperiment,
+    BbWeaknessExperiment,
+    RobustnessExperiment,
+    evaluate_protocols,
+    run_abr_cdf_experiment,
+    run_bb_weakness_experiment,
+    run_robustness_experiment,
+)
+from repro.experiments.cc_suite import (
+    BbrAdversarialExperiment,
+    run_bbr_adversarial_experiment,
+)
+
+__all__ = [
+    "AbrCdfExperiment",
+    "BbWeaknessExperiment",
+    "BbrAdversarialExperiment",
+    "RobustnessExperiment",
+    "evaluate_protocols",
+    "run_abr_cdf_experiment",
+    "run_bb_weakness_experiment",
+    "run_bbr_adversarial_experiment",
+    "run_robustness_experiment",
+]

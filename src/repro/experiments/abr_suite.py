@@ -1,0 +1,209 @@
+"""ABR experiment runners (Figures 1-4 of the paper)."""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Mapping
+
+import numpy as np
+
+from repro.abr.protocols.base import AbrPolicy, run_session
+from repro.abr.protocols.optimal import optimal_plan_dp
+from repro.abr.protocols.pensieve import continue_training, train_pensieve
+from repro.abr.qoe import QoEWeights
+from repro.abr.video import Video
+from repro.adversary.abr_env import train_abr_adversary
+from repro.adversary.generation import generate_abr_traces
+from repro.analysis.stats import QoERatioSummary, percentile, qoe_ratio_summary
+from repro.rl.ppo import PPO, PPOConfig
+from repro.traces.trace import Trace
+
+__all__ = [
+    "AbrCdfExperiment",
+    "BbWeaknessExperiment",
+    "RobustnessExperiment",
+    "evaluate_protocols",
+    "run_abr_cdf_experiment",
+    "run_bb_weakness_experiment",
+    "run_robustness_experiment",
+]
+
+
+def evaluate_protocols(
+    video: Video,
+    traces: list[Trace],
+    protocols: Mapping[str, AbrPolicy],
+    chunk_indexed: bool = False,
+    weights: QoEWeights = QoEWeights(),
+) -> dict[str, list[float]]:
+    """Per-trace mean QoE of each protocol over a trace corpus."""
+    if not traces:
+        raise ValueError("empty trace corpus")
+    results: dict[str, list[float]] = {}
+    for name, policy in protocols.items():
+        results[name] = [
+            run_session(video, trace, policy, weights=weights,
+                        chunk_indexed=chunk_indexed).qoe_mean
+            for trace in traces
+        ]
+    return results
+
+
+@dataclass
+class AbrCdfExperiment:
+    """Figure 1 + Figure 2 data: QoE per protocol per trace corpus."""
+
+    #: corpus name -> protocol name -> per-trace mean QoE.
+    qoe: dict[str, dict[str, list[float]]]
+    #: Figure 2 rows, keyed by (other, targeted, corpus).
+    ratios: dict[tuple[str, str, str], QoERatioSummary] = field(default_factory=dict)
+
+
+def run_abr_cdf_experiment(
+    video: Video,
+    corpora: Mapping[str, list[Trace]],
+    protocols: Mapping[str, AbrPolicy],
+    ratio_pairs: list[tuple[str, str, str]],
+    chunk_indexed: bool = True,
+) -> AbrCdfExperiment:
+    """Evaluate all protocols on all corpora and summarize QoE ratios.
+
+    ``ratio_pairs`` lists ``(other, targeted, corpus)`` triples, e.g.
+    ``("pensieve", "mpc", "anti-mpc")`` reproduces the "Pensieve/MPC on
+    MPC traces" bar of Figure 2.
+    """
+    qoe = {
+        corpus_name: evaluate_protocols(video, traces, protocols, chunk_indexed)
+        for corpus_name, traces in corpora.items()
+    }
+    experiment = AbrCdfExperiment(qoe=qoe)
+    for other, targeted, corpus_name in ratio_pairs:
+        experiment.ratios[(other, targeted, corpus_name)] = qoe_ratio_summary(
+            qoe[corpus_name][other], qoe[corpus_name][targeted]
+        )
+    return experiment
+
+
+@dataclass
+class BbWeaknessExperiment:
+    """Figure 3 data: BB vs the offline optimum on one adversarial trace."""
+
+    trace: Trace
+    bb_bitrates_kbps: list[float]
+    bb_buffers_s: list[float]
+    bb_qoe_total: float
+    bb_switches: int
+    optimal_bitrates_kbps: list[float]
+    optimal_qoe_total: float
+    optimal_switches: int
+    fraction_in_switching_band: float
+
+
+def run_bb_weakness_experiment(
+    video: Video,
+    trace: Trace,
+    bb_policy,
+    weights: QoEWeights = QoEWeights(),
+) -> BbWeaknessExperiment:
+    """Replay an anti-BB adversarial trace and overlay the offline optimum."""
+    result = run_session(video, trace, bb_policy, weights=weights, chunk_indexed=True)
+    opt_total, opt_plan = optimal_plan_dp(
+        video, trace.bandwidths_mbps[: video.n_chunks], weights=weights
+    )
+    lo, hi = bb_policy.switching_band
+    in_band = np.mean([lo <= b < hi for b in result.buffer_seconds])
+    opt_bitrates = [float(video.bitrates_kbps[q]) for q in opt_plan]
+    return BbWeaknessExperiment(
+        trace=trace,
+        bb_bitrates_kbps=result.bitrates_kbps,
+        bb_buffers_s=result.buffer_seconds,
+        bb_qoe_total=result.qoe_total,
+        bb_switches=int(np.count_nonzero(np.diff(result.bitrates_kbps))),
+        optimal_bitrates_kbps=opt_bitrates,
+        optimal_qoe_total=opt_total,
+        optimal_switches=int(np.count_nonzero(np.diff(opt_bitrates))),
+        fraction_in_switching_band=float(in_band),
+    )
+
+
+@dataclass
+class RobustnessExperiment:
+    """Figure 4 data: mean and 5th-percentile QoE per variant and test set.
+
+    ``qoe[variant][test_set] = (mean, p5)`` with variants ``"without"``,
+    ``"adv@90%"``, ``"adv@70%"``.
+    """
+
+    train_set: str
+    qoe: dict[str, dict[str, tuple[float, float]]]
+    adversarial_trace_count: dict[str, int]
+
+
+def run_robustness_experiment(
+    video: Video,
+    train_corpus: list[Trace],
+    test_sets: Mapping[str, list[Trace]],
+    train_set_name: str,
+    total_steps: int = 100_000,
+    adversary_steps: int = 50_000,
+    n_adversarial_traces: int = 30,
+    switch_fractions: tuple[float, ...] = (0.7, 0.9),
+    seed: int = 0,
+    pensieve_config: PPOConfig | None = None,
+    adversary_config: PPOConfig | None = None,
+) -> RobustnessExperiment:
+    """The Figure 4 pipeline with a shared training prefix.
+
+    Trains one Pensieve along the original corpus, snapshotting at each
+    switch fraction; each snapshot forks into an adversarially augmented
+    continuation, while the main line finishes unmodified ("Without Adv.").
+    """
+    fractions = sorted(switch_fractions)
+    if any(not 0.0 < f < 1.0 for f in fractions):
+        raise ValueError("switch fractions must be in (0, 1)")
+
+    def evaluate(agent) -> dict[str, tuple[float, float]]:
+        out = {}
+        for name, traces in test_sets.items():
+            qoes = [run_session(video, t, agent).qoe_mean for t in traces]
+            out[name] = (float(np.mean(qoes)), percentile(qoes, 5))
+        return out
+
+    snapshots = {}
+    steps_done = 0
+    line = None
+    for frac in fractions:
+        target = int(total_steps * frac)
+        if line is None:
+            line = train_pensieve(
+                train_corpus, video, total_steps=target, seed=seed,
+                config=copy.deepcopy(pensieve_config),
+            )
+        else:
+            line = continue_training(line, target - steps_done)
+        steps_done = target
+        snapshots[frac] = copy.deepcopy(line)
+    baseline = continue_training(line, total_steps - steps_done)
+
+    qoe = {"without": evaluate(baseline.agent)}
+    trace_counts = {}
+    for frac in fractions:
+        snapshot = snapshots[frac]
+        frozen = copy.deepcopy(snapshot.agent)
+        adversary = train_abr_adversary(
+            frozen, video, total_steps=adversary_steps, seed=seed + 17,
+            config=copy.deepcopy(adversary_config),
+        )
+        rolls = generate_abr_traces(adversary.trainer, adversary.env, n_adversarial_traces)
+        robust = continue_training(
+            snapshot,
+            total_steps - int(total_steps * frac),
+            new_traces=[r.trace for r in rolls],
+        )
+        label = f"adv@{int(frac * 100)}%"
+        qoe[label] = evaluate(robust.agent)
+        trace_counts[label] = len(rolls)
+    return RobustnessExperiment(
+        train_set=train_set_name, qoe=qoe, adversarial_trace_count=trace_counts
+    )

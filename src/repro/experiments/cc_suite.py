@@ -1,0 +1,73 @@
+"""Congestion-control experiment runners (Table 1, Figures 5-6)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.adversary.cc_env import CcAdversaryEnv
+from repro.adversary.generation import CcRollout, rollout_cc_adversary
+from repro.cc.metrics import CcRunResult, run_sender_on_trace
+from repro.cc.protocols.bbr import BBRSender
+from repro.rl.ppo import PPO
+
+__all__ = ["BbrAdversarialExperiment", "run_bbr_adversarial_experiment"]
+
+
+@dataclass
+class BbrAdversarialExperiment:
+    """Figures 5 and 6 data.
+
+    - ``online_capacity_fractions``: BBR throughput as a fraction of link
+      capacity while the (stochastic) adversary runs online -- the paper's
+      45-65% claim,
+    - ``replayed``: the same metric when recorded traces are replayed
+      against a fresh BBR (reproducibility of the attack),
+    - ``deterministic``: the noise-free rollout backing Figure 6, with
+      raw policy actions and the probing epochs of the attacked BBR.
+    """
+
+    online_capacity_fractions: list[float]
+    replayed: list[CcRunResult]
+    deterministic: CcRollout
+    deterministic_probe_times_s: list[float]
+    fig5_throughput_mbps: np.ndarray
+    fig5_bandwidth_mbps: np.ndarray
+
+
+def run_bbr_adversarial_experiment(
+    trainer: PPO,
+    env: CcAdversaryEnv,
+    n_online: int = 5,
+    n_replay: int = 5,
+    replay_seed: int = 1000,
+) -> BbrAdversarialExperiment:
+    """Roll out a trained CC adversary and quantify BBR's degradation."""
+    online = [
+        rollout_cc_adversary(trainer, env, deterministic=False, name=f"adv-cc-{i}")
+        for i in range(max(n_online, n_replay))
+    ]
+    fractions = [r.capacity_fraction for r in online[:n_online]]
+    replayed = [
+        run_sender_on_trace(BBRSender(), roll.trace, seed=replay_seed + i)
+        for i, roll in enumerate(online[:n_replay])
+    ]
+
+    deterministic = rollout_cc_adversary(trainer, env, deterministic=True)
+    sender = env.sender
+    probe_times = [t for t, mode in sender.mode_log if mode == BBRSender.PROBE_RTT]
+
+    # Figure 5 series: throughput vs available bandwidth over the run that
+    # produced the first recorded trace (1-second bins for readability).
+    intervals = online[0].intervals
+    throughput = np.array([s.throughput_mbps for s in intervals])
+    bandwidth = np.array([s.bandwidth_mbps for s in intervals])
+    return BbrAdversarialExperiment(
+        online_capacity_fractions=fractions,
+        replayed=replayed,
+        deterministic=deterministic,
+        deterministic_probe_times_s=probe_times,
+        fig5_throughput_mbps=throughput,
+        fig5_bandwidth_mbps=bandwidth,
+    )

@@ -1,0 +1,133 @@
+"""Action distributions with analytic gradients for policy-gradient training.
+
+Both distributions expose the quantities PPO needs:
+
+- ``sample`` / ``mode`` -- draw actions (or the deterministic action; the
+  paper's Figure 6 uses the deterministic actions "before exploration noise
+  from training is added"),
+- ``log_prob`` -- per-sample log likelihood of given actions,
+- ``entropy`` -- per-sample entropy,
+- ``log_prob_grad`` / ``entropy_grad`` -- gradients of those quantities with
+  respect to the distribution's *inputs* (logits, or mean and log-std), so
+  that the PPO loss can be backpropagated through the policy network.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Categorical", "DiagGaussian"]
+
+
+def _softmax(logits: np.ndarray) -> np.ndarray:
+    z = logits - logits.max(axis=-1, keepdims=True)
+    e = np.exp(z)
+    return e / e.sum(axis=-1, keepdims=True)
+
+
+def _log_softmax(logits: np.ndarray) -> np.ndarray:
+    z = logits - logits.max(axis=-1, keepdims=True)
+    return z - np.log(np.exp(z).sum(axis=-1, keepdims=True))
+
+
+class Categorical:
+    """A batch of categorical distributions parameterized by logits ``(n, k)``."""
+
+    def __init__(self, logits: np.ndarray) -> None:
+        self.logits = np.atleast_2d(np.asarray(logits, dtype=float))
+        self.probs = _softmax(self.logits)
+        self._log_probs = _log_softmax(self.logits)
+
+    @property
+    def n_actions(self) -> int:
+        return self.logits.shape[-1]
+
+    def sample(self, rng: np.random.Generator) -> np.ndarray:
+        """Draw one action per row using the Gumbel-max trick."""
+        gumbel = -np.log(-np.log(rng.uniform(size=self.logits.shape) + 1e-12) + 1e-12)
+        return np.argmax(self.logits + gumbel, axis=-1)
+
+    def mode(self) -> np.ndarray:
+        return np.argmax(self.logits, axis=-1)
+
+    def log_prob(self, actions: np.ndarray) -> np.ndarray:
+        actions = np.asarray(actions, dtype=int)
+        return self._log_probs[np.arange(self.logits.shape[0]), actions]
+
+    def entropy(self) -> np.ndarray:
+        return -(self.probs * self._log_probs).sum(axis=-1)
+
+    def log_prob_grad(self, actions: np.ndarray) -> np.ndarray:
+        """d log p(a) / d logits = onehot(a) - softmax(logits)."""
+        actions = np.asarray(actions, dtype=int)
+        grad = -self.probs.copy()
+        grad[np.arange(self.logits.shape[0]), actions] += 1.0
+        return grad
+
+    def entropy_grad(self) -> np.ndarray:
+        """d H / d logits_j = -p_j (log p_j + H)."""
+        ent = self.entropy()[:, None]
+        return -self.probs * (self._log_probs + ent)
+
+    def kl(self, other: "Categorical") -> np.ndarray:
+        """KL(self || other) per row."""
+        return (self.probs * (self._log_probs - other._log_probs)).sum(axis=-1)
+
+
+class DiagGaussian:
+    """Diagonal Gaussian over continuous actions.
+
+    ``mean`` has shape ``(n, d)``; ``log_std`` has shape ``(d,)`` and is a
+    state-independent learned parameter (the stable-baselines convention
+    for PPO continuous policies, which the paper's adversaries use).
+    """
+
+    LOG_2PI = float(np.log(2.0 * np.pi))
+
+    def __init__(self, mean: np.ndarray, log_std: np.ndarray) -> None:
+        self.mean = np.atleast_2d(np.asarray(mean, dtype=float))
+        self.log_std = np.asarray(log_std, dtype=float)
+        if self.log_std.ndim != 1 or self.log_std.shape[0] != self.mean.shape[1]:
+            raise ValueError(
+                f"log_std shape {self.log_std.shape} incompatible with mean {self.mean.shape}"
+            )
+        self.std = np.exp(self.log_std)
+
+    @property
+    def dim(self) -> int:
+        return self.mean.shape[1]
+
+    def sample(self, rng: np.random.Generator) -> np.ndarray:
+        return self.mean + self.std * rng.standard_normal(self.mean.shape)
+
+    def mode(self) -> np.ndarray:
+        return self.mean.copy()
+
+    def log_prob(self, actions: np.ndarray) -> np.ndarray:
+        actions = np.atleast_2d(np.asarray(actions, dtype=float))
+        z = (actions - self.mean) / self.std
+        return (-0.5 * z * z - self.log_std - 0.5 * self.LOG_2PI).sum(axis=-1)
+
+    def entropy(self) -> np.ndarray:
+        per_dim = self.log_std + 0.5 * (1.0 + self.LOG_2PI)
+        return np.full(self.mean.shape[0], float(per_dim.sum()))
+
+    def log_prob_grad(self, actions: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Return ``(d logp / d mean, d logp / d log_std)``.
+
+        The mean gradient is per-sample ``(n, d)``; the log-std gradient is
+        per-sample as well (summed by the caller over the batch).
+        """
+        actions = np.atleast_2d(np.asarray(actions, dtype=float))
+        z = (actions - self.mean) / self.std
+        return z / self.std, z * z - 1.0
+
+    def entropy_grad(self) -> np.ndarray:
+        """d H / d log_std = 1 for each dimension (per sample)."""
+        return np.ones((self.mean.shape[0], self.dim))
+
+    def kl(self, other: "DiagGaussian") -> np.ndarray:
+        """KL(self || other) per row."""
+        var, ovar = self.std**2, other.std**2
+        term = (var + (self.mean - other.mean) ** 2) / (2.0 * ovar)
+        return (other.log_std - self.log_std + term - 0.5).sum(axis=-1)

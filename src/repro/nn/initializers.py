@@ -1,0 +1,38 @@
+"""Weight initialization schemes for dense layers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["glorot_uniform", "he_uniform", "orthogonal", "zeros"]
+
+
+def glorot_uniform(rng: np.random.Generator, fan_in: int, fan_out: int) -> np.ndarray:
+    """Xavier/Glorot uniform initialization, suited to tanh networks."""
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=(fan_in, fan_out))
+
+
+def he_uniform(rng: np.random.Generator, fan_in: int, fan_out: int) -> np.ndarray:
+    """He uniform initialization, suited to ReLU networks."""
+    limit = np.sqrt(6.0 / fan_in)
+    return rng.uniform(-limit, limit, size=(fan_in, fan_out))
+
+
+def orthogonal(
+    rng: np.random.Generator, fan_in: int, fan_out: int, gain: float = 1.0
+) -> np.ndarray:
+    """Orthogonal initialization (the stable-baselines default for policies).
+
+    The returned matrix has orthonormal rows or columns (whichever is
+    shorter), scaled by ``gain``.
+    """
+    a = rng.standard_normal((fan_in, fan_out))
+    u, _, vt = np.linalg.svd(a, full_matrices=False)
+    q = u if u.shape == (fan_in, fan_out) else vt
+    return gain * q
+
+
+def zeros(_rng: np.random.Generator, fan_in: int, fan_out: int) -> np.ndarray:
+    """All-zeros initialization (used for bias vectors and final layers)."""
+    return np.zeros((fan_in, fan_out))

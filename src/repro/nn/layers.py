@@ -1,0 +1,132 @@
+"""Dense layers and activation functions with explicit backward passes."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.nn import initializers
+
+__all__ = ["ACTIVATIONS", "Activation", "Dense"]
+
+
+class Dense:
+    """A fully connected layer ``y = x @ W + b``.
+
+    The layer caches its input on :meth:`forward` so that :meth:`backward`
+    can compute parameter gradients.  Gradients accumulate into ``dW`` and
+    ``db`` until :meth:`zero_grad` is called, which lets callers combine
+    several loss terms.
+    """
+
+    def __init__(
+        self,
+        in_dim: int,
+        out_dim: int,
+        rng: np.random.Generator,
+        init: str = "orthogonal",
+        gain: float = np.sqrt(2.0),
+    ) -> None:
+        if in_dim <= 0 or out_dim <= 0:
+            raise ValueError(f"layer dims must be positive, got {in_dim}x{out_dim}")
+        init_fn = {
+            "orthogonal": lambda r, i, o: initializers.orthogonal(r, i, o, gain=gain),
+            "glorot": initializers.glorot_uniform,
+            "he": initializers.he_uniform,
+            "zeros": initializers.zeros,
+        }[init]
+        self.W = init_fn(rng, in_dim, out_dim)
+        self.b = np.zeros(out_dim)
+        self.dW = np.zeros_like(self.W)
+        self.db = np.zeros_like(self.b)
+        self._x: np.ndarray | None = None
+
+    @property
+    def in_dim(self) -> int:
+        return self.W.shape[0]
+
+    @property
+    def out_dim(self) -> int:
+        return self.W.shape[1]
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._x = x
+        return x @ self.W + self.b
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        """Accumulate parameter gradients and return the input gradient."""
+        if self._x is None:
+            raise RuntimeError("backward called before forward")
+        self.dW += self._x.T @ dout
+        self.db += dout.sum(axis=0)
+        return dout @ self.W.T
+
+    def zero_grad(self) -> None:
+        self.dW[:] = 0.0
+        self.db[:] = 0.0
+
+    def parameters(self) -> list[np.ndarray]:
+        return [self.W, self.b]
+
+    def gradients(self) -> list[np.ndarray]:
+        return [self.dW, self.db]
+
+
+class Activation:
+    """An elementwise activation with a cached-forward backward pass."""
+
+    def __init__(self, name: str) -> None:
+        if name not in ACTIVATIONS:
+            raise ValueError(f"unknown activation {name!r}; choose from {sorted(ACTIVATIONS)}")
+        self.name = name
+        self._fwd, self._grad = ACTIVATIONS[name]
+        self._y: np.ndarray | None = None
+        self._x: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._x = x
+        self._y = self._fwd(x)
+        return self._y
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        if self._y is None or self._x is None:
+            raise RuntimeError("backward called before forward")
+        return dout * self._grad(self._x, self._y)
+
+
+def _tanh_grad(_x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    return 1.0 - y * y
+
+
+def _relu_grad(x: np.ndarray, _y: np.ndarray) -> np.ndarray:
+    return (x > 0.0).astype(x.dtype)
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    out = np.empty_like(x)
+    pos = x >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+    ex = np.exp(x[~pos])
+    out[~pos] = ex / (1.0 + ex)
+    return out
+
+
+def _sigmoid_grad(_x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    return y * (1.0 - y)
+
+
+def _identity(x: np.ndarray) -> np.ndarray:
+    return x
+
+
+def _identity_grad(x: np.ndarray, _y: np.ndarray) -> np.ndarray:
+    return np.ones_like(x)
+
+
+ACTIVATIONS: dict[str, tuple[Callable[[np.ndarray], np.ndarray], Callable]] = {
+    "tanh": (np.tanh, _tanh_grad),
+    "relu": (lambda x: np.maximum(x, 0.0), _relu_grad),
+    "sigmoid": (_sigmoid, _sigmoid_grad),
+    "linear": (_identity, _identity_grad),
+}

@@ -1,0 +1,109 @@
+"""The :class:`MLP` container: a stack of Dense layers with activations."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.nn.layers import Activation, Dense
+
+__all__ = ["MLP"]
+
+
+class MLP:
+    """A multi-layer perceptron with explicit forward/backward passes.
+
+    Parameters
+    ----------
+    sizes:
+        Layer widths including input and output, e.g. ``(10, 32, 16, 6)``.
+    activation:
+        Hidden-layer activation name (``tanh`` by default, matching the
+        stable-baselines MlpPolicy the paper used).
+    out_activation:
+        Activation applied to the final layer (``linear`` by default).
+    rng:
+        Source of initialization randomness.
+    out_gain:
+        Orthogonal-init gain for the final layer.  Policy heads commonly
+        use a small gain (0.01) so that initial policies are near-uniform.
+    """
+
+    def __init__(
+        self,
+        sizes: Sequence[int],
+        rng: np.random.Generator,
+        activation: str = "tanh",
+        out_activation: str = "linear",
+        out_gain: float = 0.01,
+    ) -> None:
+        if len(sizes) < 2:
+            raise ValueError("MLP needs at least an input and an output size")
+        self.sizes = tuple(int(s) for s in sizes)
+        self._stack: list[Dense | Activation] = []
+        for i, (fan_in, fan_out) in enumerate(zip(self.sizes[:-1], self.sizes[1:])):
+            last = i == len(self.sizes) - 2
+            gain = out_gain if last else np.sqrt(2.0)
+            self._stack.append(Dense(fan_in, fan_out, rng, gain=gain))
+            self._stack.append(Activation(out_activation if last else activation))
+
+    @property
+    def in_dim(self) -> int:
+        return self.sizes[0]
+
+    @property
+    def out_dim(self) -> int:
+        return self.sizes[-1]
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Run the network on a batch ``(n, in_dim)`` and return ``(n, out_dim)``."""
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        if x.shape[1] != self.in_dim:
+            raise ValueError(f"expected input dim {self.in_dim}, got {x.shape[1]}")
+        for layer in self._stack:
+            x = layer.forward(x)
+        return x
+
+    __call__ = forward
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        """Backpropagate ``dLoss/dOutput``; returns ``dLoss/dInput``."""
+        for layer in reversed(self._stack):
+            dout = layer.backward(dout)
+        return dout
+
+    def zero_grad(self) -> None:
+        for layer in self._stack:
+            if isinstance(layer, Dense):
+                layer.zero_grad()
+
+    def parameters(self) -> list[np.ndarray]:
+        params: list[np.ndarray] = []
+        for layer in self._stack:
+            if isinstance(layer, Dense):
+                params.extend(layer.parameters())
+        return params
+
+    def gradients(self) -> list[np.ndarray]:
+        grads: list[np.ndarray] = []
+        for layer in self._stack:
+            if isinstance(layer, Dense):
+                grads.extend(layer.gradients())
+        return grads
+
+    def get_weights(self) -> list[np.ndarray]:
+        """Return copies of all parameter arrays (for checkpointing)."""
+        return [p.copy() for p in self.parameters()]
+
+    def set_weights(self, weights: Sequence[np.ndarray]) -> None:
+        params = self.parameters()
+        if len(weights) != len(params):
+            raise ValueError(f"expected {len(params)} arrays, got {len(weights)}")
+        for p, w in zip(params, weights):
+            if p.shape != w.shape:
+                raise ValueError(f"shape mismatch: {p.shape} vs {w.shape}")
+            p[:] = w
+
+    def num_parameters(self) -> int:
+        return sum(p.size for p in self.parameters())

@@ -1,0 +1,112 @@
+"""First-order optimizers operating on lists of parameter arrays in place."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["Adam", "Optimizer", "RMSProp", "SGD", "clip_grad_norm"]
+
+
+def clip_grad_norm(grads: Sequence[np.ndarray], max_norm: float) -> float:
+    """Scale ``grads`` in place so their global L2 norm is at most ``max_norm``.
+
+    Returns the pre-clipping norm (useful for logging).
+    """
+    total = float(np.sqrt(sum(float(np.sum(g * g)) for g in grads)))
+    if max_norm > 0.0 and total > max_norm:
+        scale = max_norm / (total + 1e-12)
+        for g in grads:
+            g *= scale
+    return total
+
+
+class Optimizer:
+    """Base class: pairs parameter arrays with gradient arrays."""
+
+    def __init__(self, params: Sequence[np.ndarray], lr: float) -> None:
+        if lr <= 0.0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        self.params = list(params)
+        self.lr = lr
+
+    def step(self, grads: Sequence[np.ndarray]) -> None:
+        raise NotImplementedError
+
+    def _check(self, grads: Sequence[np.ndarray]) -> None:
+        if len(grads) != len(self.params):
+            raise ValueError(f"expected {len(self.params)} gradient arrays, got {len(grads)}")
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum."""
+
+    def __init__(self, params: Sequence[np.ndarray], lr: float, momentum: float = 0.0) -> None:
+        super().__init__(params, lr)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        self.momentum = momentum
+        self._velocity = [np.zeros_like(p) for p in self.params]
+
+    def step(self, grads: Sequence[np.ndarray]) -> None:
+        self._check(grads)
+        for p, g, v in zip(self.params, grads, self._velocity):
+            v *= self.momentum
+            v -= self.lr * g
+            p += v
+
+
+class RMSProp(Optimizer):
+    """RMSProp as used by the original A3C Pensieve implementation."""
+
+    def __init__(
+        self,
+        params: Sequence[np.ndarray],
+        lr: float,
+        decay: float = 0.99,
+        eps: float = 1e-8,
+    ) -> None:
+        super().__init__(params, lr)
+        self.decay = decay
+        self.eps = eps
+        self._sq = [np.zeros_like(p) for p in self.params]
+
+    def step(self, grads: Sequence[np.ndarray]) -> None:
+        self._check(grads)
+        for p, g, s in zip(self.params, grads, self._sq):
+            s *= self.decay
+            s += (1.0 - self.decay) * g * g
+            p -= self.lr * g / (np.sqrt(s) + self.eps)
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba), the stable-baselines PPO default."""
+
+    def __init__(
+        self,
+        params: Sequence[np.ndarray],
+        lr: float,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+    ) -> None:
+        super().__init__(params, lr)
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self._m = [np.zeros_like(p) for p in self.params]
+        self._v = [np.zeros_like(p) for p in self.params]
+        self._t = 0
+
+    def step(self, grads: Sequence[np.ndarray]) -> None:
+        self._check(grads)
+        self._t += 1
+        bc1 = 1.0 - self.beta1**self._t
+        bc2 = 1.0 - self.beta2**self._t
+        for p, g, m, v in zip(self.params, grads, self._m, self._v):
+            m *= self.beta1
+            m += (1.0 - self.beta1) * g
+            v *= self.beta2
+            v += (1.0 - self.beta2) * g * g
+            p -= self.lr * (m / bc1) / (np.sqrt(v / bc2) + self.eps)

@@ -1,0 +1,33 @@
+"""Reinforcement-learning substrate (gym-like API + PPO, NumPy only).
+
+Replaces the OpenAI Gym / stable-baselines stack the paper relied on:
+
+- :mod:`repro.rl.spaces` -- ``Box`` and ``Discrete`` action/observation spaces,
+- :mod:`repro.rl.env` -- the environment interface,
+- :mod:`repro.rl.buffer` -- rollout storage with GAE(lambda),
+- :mod:`repro.rl.policy` -- actor-critic policies over MLPs,
+- :mod:`repro.rl.ppo` -- Proximal Policy Optimization (clipped surrogate),
+- :mod:`repro.rl.reinforce` -- REINFORCE-with-baseline (trainer ablation),
+- :mod:`repro.rl.running_stat` -- online observation normalization.
+"""
+
+from repro.rl.buffer import RolloutBuffer
+from repro.rl.env import Env
+from repro.rl.policy import ActorCritic
+from repro.rl.ppo import PPO, PPOConfig
+from repro.rl.reinforce import Reinforce, ReinforceConfig
+from repro.rl.running_stat import RunningMeanStd
+from repro.rl.spaces import Box, Discrete
+
+__all__ = [
+    "ActorCritic",
+    "Box",
+    "Discrete",
+    "Env",
+    "PPO",
+    "PPOConfig",
+    "Reinforce",
+    "ReinforceConfig",
+    "RolloutBuffer",
+    "RunningMeanStd",
+]

@@ -1,0 +1,111 @@
+"""Rollout storage and Generalized Advantage Estimation."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+__all__ = ["RolloutBuffer"]
+
+
+class RolloutBuffer:
+    """Fixed-capacity on-policy rollout buffer.
+
+    Stores transitions collected by the current policy, then computes
+    GAE(lambda) advantages and discounted returns in a single backward
+    sweep (Schulman et al. 2016).  ``dones`` mark episode boundaries so
+    that advantages never bootstrap across resets.
+    """
+
+    def __init__(self, capacity: int, obs_dim: int, act_dim: int, discrete: bool) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self.discrete = discrete
+        self.obs = np.zeros((capacity, obs_dim))
+        if discrete:
+            self.actions = np.zeros(capacity, dtype=int)
+        else:
+            self.actions = np.zeros((capacity, act_dim))
+        self.rewards = np.zeros(capacity)
+        self.dones = np.zeros(capacity, dtype=bool)
+        self.values = np.zeros(capacity)
+        self.log_probs = np.zeros(capacity)
+        self.advantages = np.zeros(capacity)
+        self.returns = np.zeros(capacity)
+        self.pos = 0
+
+    @property
+    def full(self) -> bool:
+        return self.pos >= self.capacity
+
+    def add(
+        self,
+        obs: np.ndarray,
+        action,
+        reward: float,
+        done: bool,
+        value: float,
+        log_prob: float,
+    ) -> None:
+        if self.full:
+            raise RuntimeError("buffer is full; call reset() first")
+        i = self.pos
+        self.obs[i] = obs
+        self.actions[i] = action
+        self.rewards[i] = reward
+        self.dones[i] = done
+        self.values[i] = value
+        self.log_probs[i] = log_prob
+        self.pos += 1
+
+    def reset(self) -> None:
+        self.pos = 0
+
+    def compute_gae(self, last_value: float, gamma: float, lam: float) -> None:
+        """Fill :attr:`advantages` and :attr:`returns` for the stored slice.
+
+        ``last_value`` bootstraps the value of the state following the final
+        stored transition (zero if that transition ended an episode).
+        """
+        n = self.pos
+        if n == 0:
+            raise RuntimeError("cannot compute GAE on an empty buffer")
+        adv = 0.0
+        for t in reversed(range(n)):
+            if t == n - 1:
+                next_value = last_value
+            else:
+                next_value = self.values[t + 1]
+            non_terminal = 0.0 if self.dones[t] else 1.0
+            delta = self.rewards[t] + gamma * next_value * non_terminal - self.values[t]
+            adv = delta + gamma * lam * non_terminal * adv
+            self.advantages[t] = adv
+        self.returns[:n] = self.advantages[:n] + self.values[:n]
+
+    def minibatches(
+        self, batch_size: int, rng: np.random.Generator
+    ) -> Iterator[np.ndarray]:
+        """Yield shuffled index arrays covering the filled portion."""
+        idx = rng.permutation(self.pos)
+        for start in range(0, self.pos, batch_size):
+            yield idx[start : start + batch_size]
+
+    def mean_episode_reward(self) -> float:
+        """Mean total reward of *completed* episodes in the buffer.
+
+        Falls back to the sum over the whole buffer when no episode
+        boundary was recorded.
+        """
+        n = self.pos
+        totals: list[float] = []
+        acc = 0.0
+        for t in range(n):
+            acc += self.rewards[t]
+            if self.dones[t]:
+                totals.append(acc)
+                acc = 0.0
+        if not totals:
+            return float(self.rewards[:n].sum())
+        return float(np.mean(totals))

@@ -1,0 +1,32 @@
+"""The environment interface used across the library (classic gym API)."""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.rl.spaces import Space
+
+__all__ = ["Env"]
+
+
+class Env:
+    """Abstract RL environment.
+
+    Subclasses must define :attr:`observation_space` and :attr:`action_space`
+    and implement :meth:`reset` and :meth:`step`.  The step contract follows
+    the classic gym API: ``(observation, reward, done, info)``.
+    """
+
+    observation_space: Space
+    action_space: Space
+
+    def reset(self, *, seed: int | None = None) -> np.ndarray:
+        raise NotImplementedError
+
+    def step(self, action: Any) -> tuple[np.ndarray, float, bool, dict]:
+        raise NotImplementedError
+
+    def close(self) -> None:  # pragma: no cover - optional hook
+        """Release resources (no-op by default)."""

@@ -1,0 +1,139 @@
+"""Actor-critic policies over MLPs (categorical and Gaussian heads)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.nn.distributions import Categorical, DiagGaussian
+from repro.nn.network import MLP
+from repro.rl.spaces import Box, Discrete, Space
+
+__all__ = ["ActorCritic"]
+
+
+class ActorCritic:
+    """A policy network and a value network with a common interface.
+
+    Discrete action spaces get a categorical head; box action spaces get a
+    diagonal-Gaussian head whose mean the network outputs in "unit space"
+    ([-1, 1]^d after tanh-free clipping) with a learned state-independent
+    log standard deviation -- matching the stable-baselines MlpPolicy the
+    paper trained its adversaries with.  Continuous actions are produced
+    unclipped; environments clip them into the action box, as the paper
+    notes in section 4.
+    """
+
+    def __init__(
+        self,
+        obs_dim: int,
+        action_space: Space,
+        hidden: Sequence[int] = (32, 16),
+        activation: str = "tanh",
+        rng: np.random.Generator | None = None,
+        init_log_std: float = 0.0,
+    ) -> None:
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.obs_dim = obs_dim
+        self.action_space = action_space
+        self.discrete = isinstance(action_space, Discrete)
+        if self.discrete:
+            out_dim = action_space.n
+        elif isinstance(action_space, Box):
+            out_dim = action_space.dim
+        else:
+            raise TypeError(f"unsupported action space: {action_space!r}")
+
+        self.policy_net = MLP(
+            (obs_dim, *hidden, out_dim), rng, activation=activation, out_gain=0.01
+        )
+        self.value_net = MLP((obs_dim, *hidden, 1), rng, activation=activation, out_gain=1.0)
+        if self.discrete:
+            self.log_std = None
+        else:
+            self.log_std = np.full(out_dim, float(init_log_std))
+            self._dlog_std = np.zeros(out_dim)
+
+    # -- forward passes ----------------------------------------------------
+
+    def distribution(self, obs: np.ndarray):
+        """Return the action distribution for a batch of observations.
+
+        Note: the underlying network caches this forward pass, so a
+        subsequent :meth:`policy_backward` backpropagates through it.
+        """
+        out = self.policy_net.forward(obs)
+        if self.discrete:
+            return Categorical(out)
+        return DiagGaussian(out, self.log_std)
+
+    def value(self, obs: np.ndarray) -> np.ndarray:
+        """Return state-value estimates ``(n,)`` for a batch."""
+        return self.value_net.forward(obs)[:, 0]
+
+    def act(
+        self, obs: np.ndarray, rng: np.random.Generator, deterministic: bool = False
+    ) -> tuple[np.ndarray, float, float]:
+        """Select an action for a single observation.
+
+        Returns ``(action, log_prob, value)``.  For discrete spaces the
+        action is a Python int; for boxes it is a 1-D array (unclipped).
+        """
+        obs = np.atleast_2d(np.asarray(obs, dtype=float))
+        dist = self.distribution(obs)
+        action = dist.mode() if deterministic else dist.sample(rng)
+        log_prob = float(dist.log_prob(action)[0])
+        value = float(self.value(obs)[0])
+        if self.discrete:
+            return int(action[0]), log_prob, value
+        return action[0], log_prob, value
+
+    # -- gradients ---------------------------------------------------------
+
+    def zero_grad(self) -> None:
+        self.policy_net.zero_grad()
+        self.value_net.zero_grad()
+        if self.log_std is not None:
+            self._dlog_std[:] = 0.0
+
+    def policy_backward(self, d_out: np.ndarray, d_log_std: np.ndarray | None = None) -> None:
+        """Backpropagate a gradient w.r.t. the policy head outputs.
+
+        ``d_out`` is the gradient w.r.t. logits (discrete) or the Gaussian
+        mean (continuous); ``d_log_std`` accumulates into the log-std
+        parameter for continuous policies.
+        """
+        self.policy_net.backward(d_out)
+        if d_log_std is not None:
+            if self.log_std is None:
+                raise ValueError("d_log_std given for a discrete policy")
+            self._dlog_std += d_log_std
+
+    def value_backward(self, d_values: np.ndarray) -> None:
+        """Backpropagate a gradient w.r.t. the value outputs ``(n,)``."""
+        self.value_net.backward(np.asarray(d_values, dtype=float)[:, None])
+
+    # -- parameter plumbing --------------------------------------------------
+
+    def parameters(self) -> list[np.ndarray]:
+        params = self.policy_net.parameters()
+        if self.log_std is not None:
+            params = params + [self.log_std]
+        return params + self.value_net.parameters()
+
+    def gradients(self) -> list[np.ndarray]:
+        grads = self.policy_net.gradients()
+        if self.log_std is not None:
+            grads = grads + [self._dlog_std]
+        return grads + self.value_net.gradients()
+
+    def get_weights(self) -> list[np.ndarray]:
+        return [p.copy() for p in self.parameters()]
+
+    def set_weights(self, weights: Sequence[np.ndarray]) -> None:
+        params = self.parameters()
+        if len(weights) != len(params):
+            raise ValueError(f"expected {len(params)} arrays, got {len(weights)}")
+        for p, w in zip(params, weights):
+            p[:] = w

@@ -1,0 +1,256 @@
+"""Proximal Policy Optimization (clipped surrogate objective).
+
+This is a faithful NumPy re-implementation of the algorithm the paper's
+adversaries were trained with ("The training algorithm used was PPO, with
+the default arguments of the stable-baselines implementation except for the
+learning rate, which is a constant", section 3).  Defaults below follow
+stable-baselines PPO2: gamma=0.99, lambda=0.95, clip=0.2, entropy
+coefficient 0.01, value coefficient 0.5, gradient-norm clipping at 0.5 and
+a constant learning rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.nn.optim import Adam, clip_grad_norm
+from repro.rl.buffer import RolloutBuffer
+from repro.rl.env import Env
+from repro.rl.policy import ActorCritic
+from repro.rl.running_stat import RunningMeanStd
+from repro.rl.spaces import Box
+
+__all__ = ["PPO", "PPOConfig"]
+
+
+@dataclass
+class PPOConfig:
+    """Hyper-parameters for :class:`PPO` (stable-baselines PPO2 defaults)."""
+
+    n_steps: int = 256
+    batch_size: int = 64
+    n_epochs: int = 4
+    gamma: float = 0.99
+    gae_lambda: float = 0.95
+    clip_range: float = 0.2
+    ent_coef: float = 0.01
+    vf_coef: float = 0.5
+    learning_rate: float = 2.5e-4
+    max_grad_norm: float = 0.5
+    target_kl: float | None = None
+    normalize_obs: bool = True
+    normalize_adv: bool = True
+    hidden: tuple[int, ...] = (32, 16)
+    activation: str = "tanh"
+    init_log_std: float = 0.0
+
+    def validate(self) -> None:
+        if self.n_steps <= 0:
+            raise ValueError("n_steps must be positive")
+        if not 0.0 < self.gamma <= 1.0:
+            raise ValueError("gamma must be in (0, 1]")
+        if not 0.0 <= self.gae_lambda <= 1.0:
+            raise ValueError("gae_lambda must be in [0, 1]")
+        if self.clip_range <= 0.0:
+            raise ValueError("clip_range must be positive")
+        if self.batch_size <= 0 or self.batch_size > self.n_steps:
+            raise ValueError("batch_size must be in (0, n_steps]")
+
+
+class PPO:
+    """PPO trainer binding a policy to an environment.
+
+    Parameters
+    ----------
+    env:
+        The training environment.
+    config:
+        Hyper-parameters; see :class:`PPOConfig`.
+    seed:
+        Seeds network initialization, action sampling and minibatching.
+    policy:
+        Optionally, a pre-built (e.g. partially trained) policy to continue
+        training -- this is how the robustification pipeline of section 2.3
+        resumes Pensieve's training on the augmented trace corpus.
+    """
+
+    def __init__(
+        self,
+        env: Env,
+        config: PPOConfig | None = None,
+        seed: int = 0,
+        policy: ActorCritic | None = None,
+    ) -> None:
+        self.env = env
+        self.cfg = config if config is not None else PPOConfig()
+        self.cfg.validate()
+        self.rng = np.random.default_rng(seed)
+        obs_dim = env.observation_space.dim if isinstance(env.observation_space, Box) else 1
+        self.policy = policy if policy is not None else ActorCritic(
+            obs_dim,
+            env.action_space,
+            hidden=self.cfg.hidden,
+            activation=self.cfg.activation,
+            rng=self.rng,
+            init_log_std=self.cfg.init_log_std,
+        )
+        act_dim = 1 if self.policy.discrete else self.policy.action_space.dim
+        self.buffer = RolloutBuffer(
+            self.cfg.n_steps, self.policy.obs_dim, act_dim, self.policy.discrete
+        )
+        self.optimizer = Adam(self.policy.parameters(), lr=self.cfg.learning_rate)
+        self.obs_rms = RunningMeanStd((self.policy.obs_dim,))
+        self.total_steps = 0
+        self.history: list[dict] = []
+        self._obs: np.ndarray | None = None
+
+    # -- rollout -------------------------------------------------------------
+
+    def _normalize(self, obs: np.ndarray) -> np.ndarray:
+        if self.cfg.normalize_obs:
+            return self.obs_rms.normalize(obs)
+        return np.asarray(obs, dtype=float)
+
+    def collect_rollout(self) -> float:
+        """Fill the buffer with ``n_steps`` transitions; return the last value."""
+        if self._obs is None:
+            self._obs = self.env.reset(seed=int(self.rng.integers(2**31 - 1)))
+        self.buffer.reset()
+        raw_batch = np.zeros((self.cfg.n_steps, self.policy.obs_dim))
+        done = False
+        for t in range(self.cfg.n_steps):
+            raw_batch[t] = self._obs
+            norm_obs = self._normalize(self._obs)
+            action, log_prob, value = self.policy.act(norm_obs, self.rng)
+            next_obs, reward, done, _info = self.env.step(action)
+            self.buffer.add(norm_obs, action, float(reward), done, value, log_prob)
+            self._obs = self.env.reset() if done else next_obs
+            self.total_steps += 1
+        if done:
+            last_value = 0.0
+        else:
+            last_value = float(self.policy.value(np.atleast_2d(self._normalize(self._obs)))[0])
+        if self.cfg.normalize_obs:
+            self.obs_rms.update(raw_batch)
+        return last_value
+
+    # -- update --------------------------------------------------------------
+
+    def update(self) -> dict:
+        """Run the clipped-surrogate update over the stored rollout."""
+        cfg = self.cfg
+        buf = self.buffer
+        n = buf.pos
+        stats = {"pi_loss": 0.0, "v_loss": 0.0, "entropy": 0.0, "approx_kl": 0.0}
+        n_updates = 0
+        early_stop = False
+        for _epoch in range(cfg.n_epochs):
+            for idx in buf.minibatches(cfg.batch_size, self.rng):
+                mb_obs = buf.obs[idx]
+                mb_actions = buf.actions[idx]
+                mb_old_logp = buf.log_probs[idx]
+                mb_returns = buf.returns[idx]
+                adv = buf.advantages[idx]
+                if cfg.normalize_adv and len(idx) > 1:
+                    adv = (adv - adv.mean()) / (adv.std() + 1e-8)
+                m = len(idx)
+
+                self.policy.zero_grad()
+                dist = self.policy.distribution(mb_obs)
+                logp = dist.log_prob(mb_actions)
+                ratio = np.exp(logp - mb_old_logp)
+                surr1 = ratio * adv
+                surr2 = np.clip(ratio, 1.0 - cfg.clip_range, 1.0 + cfg.clip_range) * adv
+                # Gradient flows only where the unclipped branch is active.
+                active = (surr1 <= surr2).astype(float)
+                d_logp = -(adv * ratio * active) / m
+                entropy = dist.entropy()
+                if self.policy.discrete:
+                    d_logits = d_logp[:, None] * dist.log_prob_grad(mb_actions)
+                    d_logits += (-cfg.ent_coef / m) * dist.entropy_grad()
+                    self.policy.policy_backward(d_logits)
+                else:
+                    g_mean, g_log_std = dist.log_prob_grad(mb_actions)
+                    d_mean = d_logp[:, None] * g_mean
+                    d_ls = d_logp[:, None] * g_log_std
+                    d_ls += (-cfg.ent_coef / m) * dist.entropy_grad()
+                    self.policy.policy_backward(d_mean, d_ls.sum(axis=0))
+
+                values = self.policy.value(mb_obs)
+                d_values = cfg.vf_coef * (values - mb_returns) / m
+                self.policy.value_backward(d_values)
+
+                grads = self.policy.gradients()
+                clip_grad_norm(grads, cfg.max_grad_norm)
+                self.optimizer.step(grads)
+
+                stats["pi_loss"] += float(-np.minimum(surr1, surr2).mean())
+                stats["v_loss"] += float(0.5 * np.mean((values - mb_returns) ** 2))
+                stats["entropy"] += float(entropy.mean())
+                stats["approx_kl"] += float(np.mean(mb_old_logp - logp))
+                n_updates += 1
+            if cfg.target_kl is not None:
+                dist = self.policy.distribution(buf.obs[:n])
+                kl = float(np.mean(buf.log_probs[:n] - dist.log_prob(buf.actions[:n])))
+                if kl > 1.5 * cfg.target_kl:
+                    early_stop = True
+                    break
+        for key in stats:
+            stats[key] /= max(n_updates, 1)
+        stats["early_stop"] = early_stop
+        return stats
+
+    # -- main loop -----------------------------------------------------------
+
+    def learn(
+        self,
+        total_steps: int,
+        callback: Callable[["PPO", dict], None] | None = None,
+    ) -> list[dict]:
+        """Train for (at least) ``total_steps`` environment steps."""
+        if total_steps <= 0:
+            raise ValueError("total_steps must be positive")
+        target = self.total_steps + total_steps
+        while self.total_steps < target:
+            last_value = self.collect_rollout()
+            self.buffer.compute_gae(last_value, self.cfg.gamma, self.cfg.gae_lambda)
+            stats = self.update()
+            stats["steps"] = self.total_steps
+            stats["mean_episode_reward"] = self.buffer.mean_episode_reward()
+            self.history.append(stats)
+            if callback is not None:
+                callback(self, stats)
+        return self.history
+
+    # -- deterministic acting and persistence ---------------------------------
+
+    def predict(self, obs: np.ndarray, deterministic: bool = True):
+        """Map an observation to an action using current (normalized) stats."""
+        action, _logp, _value = self.policy.act(
+            self._normalize(obs), self.rng, deterministic=deterministic
+        )
+        return action
+
+    def save(self, path: str | Path) -> None:
+        path = Path(path)
+        arrays = {f"param_{i}": w for i, w in enumerate(self.policy.get_weights())}
+        arrays["rms_mean"] = self.obs_rms.mean
+        arrays["rms_var"] = self.obs_rms.var
+        arrays["rms_count"] = np.array(self.obs_rms.count)
+        np.savez(path, **arrays)
+
+    def load(self, path: str | Path) -> None:
+        data = np.load(Path(path) if str(path).endswith(".npz") else f"{path}.npz")
+        weights: list[np.ndarray] = []
+        i = 0
+        while f"param_{i}" in data:
+            weights.append(data[f"param_{i}"])
+            i += 1
+        self.policy.set_weights(weights)
+        self.obs_rms.load_state(
+            {"mean": data["rms_mean"], "var": data["rms_var"], "count": float(data["rms_count"])}
+        )

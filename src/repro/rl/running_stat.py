@@ -1,0 +1,51 @@
+"""Online mean/variance tracking for observation normalization."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["RunningMeanStd"]
+
+
+class RunningMeanStd:
+    """Tracks mean and variance with Chan et al.'s parallel-update formula.
+
+    Used to normalize observations before they reach the policy network,
+    which materially stabilizes PPO on environments whose features span
+    several orders of magnitude (e.g. chunk sizes in bytes vs. buffer
+    seconds in the ABR adversary environment).
+    """
+
+    def __init__(self, shape: tuple[int, ...] = ()) -> None:
+        self.mean = np.zeros(shape)
+        self.var = np.ones(shape)
+        self.count = 1e-4
+
+    def update(self, batch: np.ndarray) -> None:
+        batch = np.atleast_2d(np.asarray(batch, dtype=float))
+        batch_mean = batch.mean(axis=0)
+        batch_var = batch.var(axis=0)
+        batch_count = batch.shape[0]
+
+        delta = batch_mean - self.mean
+        total = self.count + batch_count
+        new_mean = self.mean + delta * batch_count / total
+        m_a = self.var * self.count
+        m_b = batch_var * batch_count
+        m2 = m_a + m_b + delta**2 * self.count * batch_count / total
+        self.mean = new_mean
+        self.var = m2 / total
+        self.count = total
+
+    def normalize(self, x: np.ndarray, clip: float = 10.0) -> np.ndarray:
+        """Return ``(x - mean) / std`` clipped to ``[-clip, clip]``."""
+        z = (np.asarray(x, dtype=float) - self.mean) / np.sqrt(self.var + 1e-8)
+        return np.clip(z, -clip, clip)
+
+    def state(self) -> dict:
+        return {"mean": self.mean.copy(), "var": self.var.copy(), "count": self.count}
+
+    def load_state(self, state: dict) -> None:
+        self.mean = np.asarray(state["mean"], dtype=float).copy()
+        self.var = np.asarray(state["var"], dtype=float).copy()
+        self.count = float(state["count"])

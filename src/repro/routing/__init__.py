@@ -1,0 +1,47 @@
+"""Intradomain routing: a third application domain for the framework.
+
+Section 5 suggests that "adversaries trained in other contexts to cause
+route flapping, BGP leaks, or incast might be useful since such problems
+generally occur rarely, but represent a significant problem when they do
+occur", and the introduction names RL-driven routing (Valadarsky et al.)
+among the protocols the framework applies to.  This package provides a
+compact routing substrate in that spirit:
+
+- :mod:`repro.routing.topology` -- capacitated topologies (networkx),
+- :mod:`repro.routing.demands` -- gravity-model traffic matrices,
+- :mod:`repro.routing.routing` -- weighted-shortest-path routing, static
+  policies (unit / inverse-capacity weights), and an RL policy that maps
+  the observed demand to link weights,
+- :mod:`repro.routing.adversary` -- an adversary that redistributes a
+  *fixed total volume* of traffic to maximize the target's max link
+  utilization relative to a reference portfolio (the Equation-1 regret
+  structure: overloads that no routing could serve earn nothing).
+"""
+
+from repro.routing.adversary import RoutingAdversaryEnv, train_routing_adversary
+from repro.routing.demands import gravity_demands
+from repro.routing.routing import (
+    InverseCapacityRouting,
+    LearnedRouting,
+    RoutingPolicy,
+    UnitWeightRouting,
+    max_link_utilization,
+    route_demands,
+    train_learned_routing,
+)
+from repro.routing.topology import abilene_like, random_topology
+
+__all__ = [
+    "InverseCapacityRouting",
+    "LearnedRouting",
+    "RoutingAdversaryEnv",
+    "RoutingPolicy",
+    "UnitWeightRouting",
+    "abilene_like",
+    "gravity_demands",
+    "max_link_utilization",
+    "random_topology",
+    "route_demands",
+    "train_learned_routing",
+    "train_routing_adversary",
+]

@@ -1,0 +1,162 @@
+"""The routing adversary: redistribute fixed traffic volume to hurt a policy.
+
+Equation-1 structure transposed to traffic engineering:
+
+- **action**: a demand *distribution* over source/destination pairs (the
+  total volume is fixed, so "overload every link" is not expressible --
+  the analogue of the paper's insistence on non-trivial examples),
+- **r_protocol**: ``-MLU`` of the target policy on that matrix,
+- **r_opt**: ``-MLU`` of the best policy in a reference portfolio (unit
+  weights, inverse-capacity weights, and a handful of seeded random
+  weight settings) -- a feasibility witness that the demand *could* be
+  routed better,
+- **p_smoothing**: mean absolute change of the demand distribution, so
+  the adversary favours stable, explainable matrices (and route-flap
+  style attacks must pay for their churn).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+import numpy as np
+
+from repro.adversary.reward import AdversaryReward
+from repro.rl.env import Env
+from repro.rl.ppo import PPO, PPOConfig
+from repro.rl.spaces import Box
+from repro.routing.demands import demand_pairs, normalize_demands
+from repro.routing.routing import (
+    InverseCapacityRouting,
+    RoutingPolicy,
+    UnitWeightRouting,
+    max_link_utilization,
+    route_demands,
+)
+from repro.routing.topology import validate_topology
+
+__all__ = ["RoutingAdversaryEnv", "RoutingAdversaryResult", "train_routing_adversary"]
+
+
+class RoutingAdversaryEnv(Env):
+    """The adversary shapes the traffic matrix; the routing policy reacts."""
+
+    def __init__(
+        self,
+        target: RoutingPolicy,
+        graph: nx.DiGraph,
+        total_mbps: float,
+        episode_len: int = 16,
+        smoothing_weight: float = 0.5,
+        n_reference_random: int = 4,
+        seed: int = 0,
+    ) -> None:
+        validate_topology(graph)
+        if total_mbps <= 0:
+            raise ValueError("total demand must be positive")
+        self.target = target
+        self.graph = graph
+        self.total_mbps = total_mbps
+        self.episode_len = episode_len
+        self.reward_fn = AdversaryReward(smoothing_weight=smoothing_weight)
+        self._pairs = demand_pairs(graph)
+        self._edges = sorted(graph.edges)
+        n_pairs = len(self._pairs)
+        self.action_space = Box([-5.0] * n_pairs, [5.0] * n_pairs)
+        # Observation: previous target MLU, previous reference MLU, and
+        # the previous demand distribution.
+        self.observation_space = Box([-1e6] * (2 + n_pairs), [1e6] * (2 + n_pairs))
+        rng = np.random.default_rng(seed)
+        self._reference_weights = [
+            UnitWeightRouting().weights(graph, {}),
+            InverseCapacityRouting().weights(graph, {}),
+        ] + [
+            {edge: float(rng.uniform(0.5, 2.0)) for edge in graph.edges}
+            for _ in range(n_reference_random)
+        ]
+        self._t = 0
+        self._prev_distribution = np.full(n_pairs, 1.0 / n_pairs)
+        self._prev_mlus = (0.0, 0.0)
+
+    # -- mechanics ---------------------------------------------------------------
+
+    def action_to_demands(self, action) -> dict[tuple[int, int], float]:
+        """Softmax the action into a demand distribution of fixed volume."""
+        logits = np.clip(np.asarray(action, dtype=float).ravel(), -10.0, 10.0)
+        if logits.shape != (len(self._pairs),):
+            raise ValueError(
+                f"expected action of dim {len(self._pairs)}, got {logits.shape}"
+            )
+        z = np.exp(logits - logits.max())
+        distribution = z / z.sum()
+        raw = dict(zip(self._pairs, distribution))
+        return normalize_demands(raw, self.total_mbps)
+
+    def reference_mlu(self, demands) -> float:
+        """Best (lowest) MLU over the reference weight portfolio."""
+        return min(
+            max_link_utilization(self.graph, route_demands(self.graph, demands, w))
+            for w in self._reference_weights
+        )
+
+    def _observe(self) -> np.ndarray:
+        return np.concatenate([self._prev_mlus, self._prev_distribution])
+
+    # -- env API --------------------------------------------------------------------
+
+    def reset(self, *, seed: int | None = None) -> np.ndarray:
+        self._t = 0
+        n = len(self._pairs)
+        self._prev_distribution = np.full(n, 1.0 / n)
+        self._prev_mlus = (0.0, 0.0)
+        return self._observe()
+
+    def step(self, action):
+        demands = self.action_to_demands(action)
+        distribution = np.array([demands[p] for p in self._pairs]) / self.total_mbps
+        smoothing = float(np.abs(distribution - self._prev_distribution).sum())
+
+        target_mlu = self.target.mlu(self.graph, demands)
+        ref_mlu = self.reference_mlu(demands)
+        # r_opt = -ref_mlu, r_protocol = -target_mlu.
+        reward = self.reward_fn(-ref_mlu, -target_mlu, smoothing)
+
+        self._prev_distribution = distribution
+        self._prev_mlus = (target_mlu, ref_mlu)
+        self._t += 1
+        info = {
+            "target_mlu": target_mlu,
+            "reference_mlu": ref_mlu,
+            "regret": target_mlu - ref_mlu,
+            "smoothing": smoothing,
+        }
+        return self._observe(), reward, self._t >= self.episode_len, info
+
+
+@dataclass
+class RoutingAdversaryResult:
+    """A trained routing adversary with its environment and history."""
+
+    trainer: PPO
+    env: RoutingAdversaryEnv
+    history: list[dict]
+
+
+def train_routing_adversary(
+    target: RoutingPolicy,
+    graph: nx.DiGraph,
+    total_mbps: float,
+    total_steps: int = 15_000,
+    seed: int = 0,
+    config: PPOConfig | None = None,
+) -> RoutingAdversaryResult:
+    """Train an adversary against a frozen routing policy."""
+    env = RoutingAdversaryEnv(target, graph, total_mbps, seed=seed)
+    cfg = config or PPOConfig(
+        n_steps=256, batch_size=64, n_epochs=4, learning_rate=1e-3,
+        ent_coef=0.005, hidden=(32, 16), init_log_std=-0.5,
+    )
+    trainer = PPO(env, cfg, seed=seed)
+    history = trainer.learn(total_steps)
+    return RoutingAdversaryResult(trainer=trainer, env=env, history=history)

@@ -1,0 +1,48 @@
+"""Traffic-matrix generation (gravity model) and normalization."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+
+__all__ = ["demand_pairs", "gravity_demands", "normalize_demands"]
+
+
+def demand_pairs(graph: nx.DiGraph) -> list[tuple[int, int]]:
+    """All ordered source/destination pairs, in stable order."""
+    nodes = sorted(graph.nodes)
+    return [(s, t) for s in nodes for t in nodes if s != t]
+
+
+def gravity_demands(
+    graph: nx.DiGraph,
+    rng: np.random.Generator,
+    total_mbps: float,
+    concentration: float = 1.0,
+) -> dict[tuple[int, int], float]:
+    """A gravity-model traffic matrix summing to ``total_mbps``.
+
+    Node masses are log-normal; ``concentration`` scales their variance
+    (larger = more skewed matrices).
+    """
+    if total_mbps <= 0:
+        raise ValueError("total demand must be positive")
+    nodes = sorted(graph.nodes)
+    masses = rng.lognormal(mean=0.0, sigma=0.5 * concentration, size=len(nodes))
+    index = {node: i for i, node in enumerate(nodes)}
+    raw = {
+        (s, t): masses[index[s]] * masses[index[t]]
+        for s, t in demand_pairs(graph)
+    }
+    return normalize_demands(raw, total_mbps)
+
+
+def normalize_demands(
+    demands: dict[tuple[int, int], float], total_mbps: float
+) -> dict[tuple[int, int], float]:
+    """Scale a demand matrix to the given total volume."""
+    current = sum(demands.values())
+    if current <= 0:
+        raise ValueError("demand matrix has no volume")
+    scale = total_mbps / current
+    return {pair: rate * scale for pair, rate in demands.items()}

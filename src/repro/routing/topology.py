@@ -1,0 +1,65 @@
+"""Capacitated network topologies (directed graphs with Mbps capacities)."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+
+__all__ = ["abilene_like", "random_topology", "validate_topology"]
+
+
+def _directed_with_capacity(edges: list[tuple[int, int, float]]) -> nx.DiGraph:
+    graph = nx.DiGraph()
+    for u, v, capacity in edges:
+        graph.add_edge(u, v, capacity_mbps=float(capacity))
+        graph.add_edge(v, u, capacity_mbps=float(capacity))
+    return graph
+
+
+def abilene_like() -> nx.DiGraph:
+    """An 11-node topology shaped like the Abilene research backbone.
+
+    Capacities are uniform 10 Gbps trunks scaled down to 10k Mbps units;
+    what matters for the experiments is the path diversity, not the
+    absolute scale.
+    """
+    edges = [
+        (0, 1, 10_000), (0, 2, 10_000), (1, 2, 10_000), (1, 3, 10_000),
+        (2, 5, 10_000), (3, 4, 10_000), (4, 5, 10_000), (4, 6, 10_000),
+        (5, 8, 10_000), (6, 7, 10_000), (7, 8, 10_000), (7, 9, 10_000),
+        (8, 10, 10_000), (9, 10, 10_000),
+    ]
+    return _directed_with_capacity(edges)
+
+
+def random_topology(
+    n_nodes: int = 8, mean_degree: float = 3.0, seed: int = 0,
+    capacity_range: tuple[float, float] = (5_000.0, 15_000.0),
+) -> nx.DiGraph:
+    """A connected random topology with heterogeneous capacities."""
+    if n_nodes < 3:
+        raise ValueError("need at least 3 nodes")
+    rng = np.random.default_rng(seed)
+    p = min(mean_degree / (n_nodes - 1), 1.0)
+    for attempt in range(100):
+        undirected = nx.gnp_random_graph(n_nodes, p, seed=int(rng.integers(2**31)))
+        if nx.is_connected(undirected):
+            break
+    else:
+        raise RuntimeError("failed to sample a connected topology")
+    edges = [
+        (u, v, float(rng.uniform(*capacity_range)))
+        for u, v in undirected.edges
+    ]
+    return _directed_with_capacity(edges)
+
+
+def validate_topology(graph: nx.DiGraph) -> None:
+    """Raise if the graph is unusable for routing experiments."""
+    if graph.number_of_nodes() < 2:
+        raise ValueError("topology needs at least two nodes")
+    if not nx.is_strongly_connected(graph):
+        raise ValueError("topology must be strongly connected")
+    for u, v, data in graph.edges(data=True):
+        if data.get("capacity_mbps", 0.0) <= 0.0:
+            raise ValueError(f"edge ({u}, {v}) lacks a positive capacity")

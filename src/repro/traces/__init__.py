@@ -1,0 +1,28 @@
+"""Network traces: representation, synthetic datasets, random baselines, I/O.
+
+The paper consumes three families of traces:
+
+1. benign training corpora -- the FCC broadband dataset and the 3G/HSDPA
+   Norway dataset (we ship statistically matched synthetic generators in
+   :mod:`repro.traces.synthetic`, since the originals are external data),
+2. uniformly random traces over the adversary's action space
+   (:mod:`repro.traces.random_traces`) -- the paper's baseline, and
+3. adversarially generated traces (produced by :mod:`repro.adversary`).
+"""
+
+from repro.traces.random_traces import random_abr_trace, random_cc_trace
+from repro.traces.synthetic import (
+    fcc_broadband_like,
+    hsdpa_3g_like,
+    make_dataset,
+)
+from repro.traces.trace import Trace
+
+__all__ = [
+    "Trace",
+    "fcc_broadband_like",
+    "hsdpa_3g_like",
+    "make_dataset",
+    "random_abr_trace",
+    "random_cc_trace",
+]

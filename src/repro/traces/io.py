@@ -1,0 +1,78 @@
+"""Trace corpus persistence.
+
+Two formats:
+
+- JSON-lines (one trace per line) -- the library's native corpus format.
+- Mahimahi packet-delivery format (one integer millisecond timestamp per
+  MTU-sized packet opportunity) -- for interchange with the emulator
+  tooling the paper modified.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import json
+
+import numpy as np
+
+from repro.traces.trace import Trace
+
+__all__ = ["load_corpus", "save_corpus", "to_mahimahi_lines", "from_mahimahi_lines"]
+
+_MTU_BITS = 12_000  # Mahimahi's 1500-byte packet granularity.
+
+
+def save_corpus(traces: list[Trace], path: str | Path) -> None:
+    """Write traces as JSON lines."""
+    lines = [json.dumps(t.to_dict()) for t in traces]
+    Path(path).write_text("\n".join(lines) + "\n")
+
+
+def load_corpus(path: str | Path) -> list[Trace]:
+    """Read a JSON-lines corpus written by :func:`save_corpus`."""
+    traces = []
+    for line in Path(path).read_text().splitlines():
+        line = line.strip()
+        if line:
+            traces.append(Trace.from_dict(json.loads(line)))
+    return traces
+
+
+def to_mahimahi_lines(trace: Trace) -> list[int]:
+    """Convert a trace to Mahimahi's ms-per-packet schedule.
+
+    Each output integer is a millisecond timestamp at which one MTU-sized
+    packet may be delivered; a bandwidth of B Mbps yields B/12 packets per
+    millisecond (1500-byte packets).
+    """
+    out: list[int] = []
+    credit = 0.0
+    duration_ms = int(round(trace.duration * 1000))
+    for ms in range(duration_ms):
+        bw = trace.bandwidth_at(ms / 1000.0, loop=False)
+        credit += bw * 1e6 / 1000.0 / _MTU_BITS
+        while credit >= 1.0:
+            out.append(ms)
+            credit -= 1.0
+    return out
+
+
+def from_mahimahi_lines(
+    lines: list[int], bin_ms: int = 1000, name: str = "mahimahi"
+) -> Trace:
+    """Reconstruct a piecewise-constant bandwidth trace from a schedule.
+
+    Bins packet-delivery opportunities into ``bin_ms`` windows and converts
+    counts back to Mbps.
+    """
+    if not lines:
+        raise ValueError("empty Mahimahi schedule")
+    arr = np.asarray(lines, dtype=float)
+    if np.any(np.diff(arr) < 0):
+        raise ValueError("Mahimahi timestamps must be non-decreasing")
+    duration_ms = int(arr[-1]) + 1
+    n_bins = max(1, int(np.ceil(duration_ms / bin_ms)))
+    counts, _ = np.histogram(arr, bins=n_bins, range=(0, n_bins * bin_ms))
+    bw = counts * _MTU_BITS / (bin_ms / 1000.0) / 1e6
+    return Trace.from_steps(bw, bin_ms / 1000.0, name=name)

@@ -1,0 +1,73 @@
+"""Uniformly random traces over an adversary's action space.
+
+"As a baseline, we used 200 random traces generated using the same action
+space as the adversary" (section 3.1).  These are the null hypothesis for
+both domains: if random traces hurt a protocol as much as adversarial
+ones, the adversary has learned nothing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.traces.trace import Trace
+
+__all__ = ["random_abr_trace", "random_abr_traces", "random_cc_trace", "random_cc_traces"]
+
+#: ABR adversary action range (section 3): bandwidth 0.8--4.8 Mbps per chunk.
+ABR_BW_RANGE_MBPS = (0.8, 4.8)
+
+#: CC adversary action ranges (Table 1).
+CC_BW_RANGE_MBPS = (6.0, 24.0)
+CC_LATENCY_RANGE_MS = (15.0, 60.0)
+CC_LOSS_RANGE = (0.0, 0.10)
+CC_STEP_SECONDS = 0.030
+
+
+def random_abr_trace(
+    rng: np.random.Generator,
+    n_segments: int = 48,
+    step_seconds: float = 4.0,
+    bw_range: tuple[float, float] = ABR_BW_RANGE_MBPS,
+    name: str = "random-abr",
+) -> Trace:
+    """A bandwidth-only trace with one uniform draw per video chunk.
+
+    ``step_seconds`` defaults to the 4-second chunk duration so the trace
+    carries one bandwidth value per chunk, matching the online adversary's
+    decision granularity.
+    """
+    bw = rng.uniform(bw_range[0], bw_range[1], size=n_segments)
+    return Trace.from_steps(bw, step_seconds, name=name)
+
+
+def random_abr_traces(
+    n_traces: int, seed: int = 0, n_segments: int = 48, **kwargs
+) -> list[Trace]:
+    """The paper's 200-random-trace baseline corpus (count configurable)."""
+    rng = np.random.default_rng(seed)
+    return [
+        random_abr_trace(rng, n_segments=n_segments, name=f"random-abr-{i:03d}", **kwargs)
+        for i in range(n_traces)
+    ]
+
+
+def random_cc_trace(
+    rng: np.random.Generator,
+    n_segments: int = 1000,
+    step_seconds: float = CC_STEP_SECONDS,
+    name: str = "random-cc",
+) -> Trace:
+    """A full (bandwidth, latency, loss) trace with 30 ms uniform segments."""
+    bw = rng.uniform(*CC_BW_RANGE_MBPS, size=n_segments)
+    lat = rng.uniform(*CC_LATENCY_RANGE_MS, size=n_segments)
+    loss = rng.uniform(*CC_LOSS_RANGE, size=n_segments)
+    return Trace.from_steps(bw, step_seconds, latencies_ms=lat, loss_rates=loss, name=name)
+
+
+def random_cc_traces(n_traces: int, seed: int = 0, n_segments: int = 1000) -> list[Trace]:
+    rng = np.random.default_rng(seed)
+    return [
+        random_cc_trace(rng, n_segments=n_segments, name=f"random-cc-{i:03d}")
+        for i in range(n_traces)
+    ]

@@ -1,0 +1,88 @@
+"""Tests for the BOLA baseline (repro.abr.protocols.bola)."""
+
+import numpy as np
+import pytest
+
+from repro.abr.protocols import BufferBased, run_session
+from repro.abr.protocols.bola import Bola
+from repro.abr.simulator import AbrObservation
+from repro.abr.video import Video
+from repro.traces.trace import Trace
+
+
+@pytest.fixture
+def video():
+    return Video.synthetic(n_chunks=20, seed=0)
+
+
+def obs_with_buffer(video, buffer_s):
+    return AbrObservation(
+        chunk_index=0,
+        last_quality=None,
+        buffer_seconds=buffer_s,
+        last_chunk_bytes=0.0,
+        last_download_seconds=0.0,
+        next_chunk_sizes=video.chunk_sizes_bytes[0].copy(),
+        chunks_remaining=video.n_chunks,
+    )
+
+
+class TestBolaMechanics:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Bola(buffer_target_s=0.0)
+        with pytest.raises(ValueError):
+            Bola(gamma_p=-1.0)
+
+    def test_requires_reset(self, video):
+        with pytest.raises(RuntimeError):
+            Bola().select(obs_with_buffer(video, 5.0))
+
+    def test_empty_buffer_picks_lowest(self, video):
+        bola = Bola()
+        bola.reset(video)
+        assert bola.select(obs_with_buffer(video, 0.0)) == 0
+
+    def test_target_buffer_picks_highest(self, video):
+        bola = Bola(buffer_target_s=25.0)
+        bola.reset(video)
+        assert bola.select(obs_with_buffer(video, 25.0)) == video.n_bitrates - 1
+
+    def test_selection_monotone_in_buffer(self, video):
+        bola = Bola()
+        bola.reset(video)
+        picks = [
+            bola.select(obs_with_buffer(video, b)) for b in np.linspace(0, 30, 40)
+        ]
+        assert picks == sorted(picks)
+
+    def test_scores_shape(self, video):
+        bola = Bola()
+        bola.reset(video)
+        assert bola.scores(obs_with_buffer(video, 10.0)).shape == (video.n_bitrates,)
+
+
+class TestBolaBehaviour:
+    def test_completes_playback(self, video):
+        result = run_session(video, Trace.constant(3.0, 500.0), Bola())
+        assert len(result.qualities) == video.n_chunks
+
+    def test_reasonable_on_stable_link(self):
+        """BOLA-BASIC tracks the link rate with little rebuffering (it
+        oscillates more than BB near its equilibrium -- the BOLA-O fix is
+        out of scope -- so we assert quality and stalls, not raw QoE)."""
+        video = Video.synthetic(n_chunks=48, seed=2)
+        trace = Trace.constant(3.0, 800.0)
+        bola = run_session(video, trace, Bola())
+        bb = run_session(video, trace, BufferBased())
+        assert bola.total_rebuffer < 2.0
+        mean_quality = np.mean(bola.qualities)
+        assert mean_quality > np.mean(bb.qualities) - 1.0
+        assert bola.qoe_mean > 0.5
+
+    def test_attackable_via_buffer_like_bb(self, video):
+        """BOLA is buffer-driven: a bait-and-crash trace forces switches."""
+        trace = Trace.from_steps([4.8, 0.8] * 10, 4.0)
+        result = run_session(video, trace, Bola(), chunk_indexed=True)
+        switches = int(np.count_nonzero(np.diff(result.bitrates_kbps)))
+        assert switches >= 4

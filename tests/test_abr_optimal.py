@@ -1,0 +1,125 @@
+"""Tests for the offline-optimal solvers (repro.abr.protocols.optimal)."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.abr.protocols import (
+    MPC,
+    BufferBased,
+    RateBased,
+    optimal_plan_dp,
+    optimal_qoe_exhaustive,
+    run_session,
+)
+from repro.abr.qoe import QoEWeights, chunk_qoe
+from repro.abr.simulator import BUFFER_CAP_S, LINK_RTT_S, PACKET_PAYLOAD_PORTION
+from repro.abr.video import Video
+from repro.traces.trace import Trace
+
+
+@pytest.fixture
+def video():
+    return Video.synthetic(n_chunks=12, seed=0)
+
+
+def simulate_plan(video, plan, bandwidths, start_buffer=0.0, prev_quality=None,
+                  weights=QoEWeights()):
+    """Reference simulation of a fixed plan under per-chunk bandwidth."""
+    buffer = start_buffer
+    prev = prev_quality
+    total = 0.0
+    for k, q in enumerate(plan):
+        rate = bandwidths[k] * 1e6 / 8.0 * PACKET_PAYLOAD_PORTION
+        dl = video.chunk_size(k, q) / rate + LINK_RTT_S
+        rebuf = max(dl - buffer, 0.0)
+        buffer = min(max(buffer - dl, 0.0) + video.chunk_seconds, BUFFER_CAP_S)
+        prev_kbps = None if prev is None else float(video.bitrates_kbps[prev])
+        total += chunk_qoe(float(video.bitrates_kbps[q]), rebuf, prev_kbps, weights)
+        prev = q
+    return total
+
+
+class TestExhaustive:
+    def test_matches_brute_force(self, video):
+        bandwidths = np.array([1.0, 3.5, 0.9])
+        best, plan = optimal_qoe_exhaustive(video, 0, bandwidths, 2.0, 1)
+        brute = max(
+            simulate_plan(video, p, bandwidths, 2.0, 1)
+            for p in itertools.product(range(video.n_bitrates), repeat=3)
+        )
+        assert best == pytest.approx(brute)
+        assert simulate_plan(video, plan, bandwidths, 2.0, 1) == pytest.approx(best)
+
+    def test_rejects_empty_and_long_windows(self, video):
+        with pytest.raises(ValueError):
+            optimal_qoe_exhaustive(video, 0, [], 0.0, None)
+        with pytest.raises(ValueError):
+            optimal_qoe_exhaustive(video, 0, np.ones(9), 0.0, None)
+
+    def test_rejects_nonpositive_bandwidth(self, video):
+        with pytest.raises(ValueError):
+            optimal_qoe_exhaustive(video, 0, [1.0, 0.0], 0.0, None)
+
+    def test_rejects_window_past_video_end(self, video):
+        with pytest.raises(ValueError):
+            optimal_qoe_exhaustive(video, video.n_chunks - 1, [1.0, 1.0], 0.0, None)
+
+    @given(
+        st.lists(st.floats(0.8, 4.8), min_size=4, max_size=4),
+        st.floats(0.0, 30.0),
+        st.sampled_from([None, 0, 2, 5]),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_optimum_dominates_any_fixed_plan(self, bandwidths, buffer, prev):
+        """The claimed optimum is >= any specific plan (here: constant plans)."""
+        video = Video.synthetic(n_chunks=8, seed=1)
+        best, _ = optimal_qoe_exhaustive(video, 0, bandwidths, buffer, prev)
+        for q in range(video.n_bitrates):
+            fixed = simulate_plan(video, [q] * 4, bandwidths, buffer, prev)
+            assert best >= fixed - 1e-9
+
+
+class TestDP:
+    def test_plan_value_consistent(self):
+        video = Video.synthetic(n_chunks=16, seed=2)
+        rng = np.random.default_rng(0)
+        bandwidths = rng.uniform(0.8, 4.8, video.n_chunks)
+        total, plan = optimal_plan_dp(video, bandwidths)
+        # The reported total must equal the exact simulation of the plan.
+        assert total == pytest.approx(simulate_plan(video, plan, bandwidths))
+
+    def test_dp_close_to_exhaustive_on_short_video(self):
+        video = Video.synthetic(n_chunks=6, seed=3)
+        bandwidths = np.array([1.0, 4.0, 0.9, 3.0, 2.0, 1.5])
+        exact, _ = optimal_qoe_exhaustive(video, 0, bandwidths, 0.0, None)
+        dp_total, _ = optimal_plan_dp(video, bandwidths, buffer_step_s=0.1)
+        assert dp_total <= exact + 1e-9  # DP is a feasible (conservative) plan
+        assert dp_total >= exact - 0.5  # ... and close to it
+
+    def test_wrong_bandwidth_count_rejected(self):
+        video = Video.synthetic(n_chunks=5, seed=0)
+        with pytest.raises(ValueError):
+            optimal_plan_dp(video, np.ones(3))
+
+    def test_optimal_beats_all_protocols(self):
+        """r_opt >= r_protocol: the foundation of the adversary's reward."""
+        video = Video.synthetic(n_chunks=24, seed=4)
+        rng = np.random.default_rng(1)
+        bandwidths = rng.uniform(0.8, 4.8, video.n_chunks)
+        trace = Trace.from_steps(bandwidths, video.chunk_seconds)
+        opt, _ = optimal_plan_dp(video, bandwidths)
+        for policy in (MPC(), BufferBased(), RateBased()):
+            result = run_session(video, trace, policy)
+            assert opt >= result.qoe_total - 1e-6
+
+    def test_low_bandwidth_start_strategy(self):
+        """On a rising trace, the optimum starts low and climbs (cf. Fig 3)."""
+        video = Video.synthetic(n_chunks=12, seed=5)
+        bandwidths = np.linspace(0.8, 4.8, 12)
+        _total, plan = optimal_plan_dp(video, bandwidths)
+        assert plan[0] <= 1
+        assert max(plan[-4:]) >= 4

@@ -1,0 +1,105 @@
+"""Tests for adversarial trace generation (repro.adversary.generation)."""
+
+import numpy as np
+import pytest
+
+from repro.abr.protocols import BufferBased, run_session
+from repro.abr.video import Video
+from repro.adversary import (
+    generate_abr_traces,
+    generate_cc_traces,
+    rollout_abr_adversary,
+    rollout_cc_adversary,
+    train_abr_adversary,
+    train_cc_adversary,
+)
+from repro.cc import BBRSender
+from repro.rl.ppo import PPOConfig
+
+
+@pytest.fixture(scope="module")
+def abr_setup():
+    video = Video.synthetic(n_chunks=10, seed=0)
+    cfg = PPOConfig(n_steps=64, batch_size=32, hidden=(8,))
+    result = train_abr_adversary(BufferBased(), video, total_steps=128, seed=0, config=cfg)
+    return video, result
+
+
+@pytest.fixture(scope="module")
+def cc_setup():
+    cfg = PPOConfig(n_steps=64, batch_size=32, hidden=(4,))
+    return train_cc_adversary(BBRSender, total_steps=128, seed=0, config=cfg,
+                              episode_intervals=25)
+
+
+class TestAbrGeneration:
+    def test_trace_has_one_segment_per_chunk(self, abr_setup):
+        video, result = abr_setup
+        roll = rollout_abr_adversary(result.trainer, result.env)
+        assert len(roll.trace) == video.n_chunks
+        assert roll.trace.duration == pytest.approx(video.duration)
+
+    def test_trace_within_action_space(self, abr_setup):
+        _video, result = abr_setup
+        roll = rollout_abr_adversary(result.trainer, result.env)
+        assert np.all(roll.trace.bandwidths_mbps >= 0.8)
+        assert np.all(roll.trace.bandwidths_mbps <= 4.8)
+
+    def test_deterministic_rollouts_identical(self, abr_setup):
+        _video, result = abr_setup
+        a = rollout_abr_adversary(result.trainer, result.env, deterministic=True)
+        b = rollout_abr_adversary(result.trainer, result.env, deterministic=True)
+        np.testing.assert_array_equal(a.trace.bandwidths_mbps, b.trace.bandwidths_mbps)
+
+    def test_stochastic_rollouts_differ(self, abr_setup):
+        _video, result = abr_setup
+        a = rollout_abr_adversary(result.trainer, result.env, deterministic=False)
+        b = rollout_abr_adversary(result.trainer, result.env, deterministic=False)
+        assert not np.array_equal(a.trace.bandwidths_mbps, b.trace.bandwidths_mbps)
+
+    def test_replaying_trace_reproduces_target_qoe(self, abr_setup):
+        """Core claim of section 2.1: recorded traces reproduce the result
+        without re-running the adversary."""
+        video, result = abr_setup
+        roll = rollout_abr_adversary(result.trainer, result.env)
+        replay = run_session(video, roll.trace, BufferBased(), chunk_indexed=True)
+        assert replay.qoe_mean == pytest.approx(roll.target_qoe_mean, abs=1e-9)
+
+    def test_corpus_generation(self, abr_setup):
+        _video, result = abr_setup
+        rolls = generate_abr_traces(result.trainer, result.env, 3)
+        assert len(rolls) == 3
+        assert len({r.trace.name for r in rolls}) == 3
+        with pytest.raises(ValueError):
+            generate_abr_traces(result.trainer, result.env, 0)
+
+
+class TestCcGeneration:
+    def test_trace_carries_all_three_schedules(self, cc_setup):
+        roll = rollout_cc_adversary(cc_setup.trainer, cc_setup.env)
+        assert roll.trace.latencies_ms is not None
+        assert roll.trace.loss_rates is not None
+        assert len(roll.trace) == 25
+
+    def test_trace_within_table1(self, cc_setup):
+        roll = rollout_cc_adversary(cc_setup.trainer, cc_setup.env)
+        t = roll.trace
+        assert np.all((t.bandwidths_mbps >= 6.0) & (t.bandwidths_mbps <= 24.0))
+        assert np.all((t.latencies_ms >= 15.0) & (t.latencies_ms <= 60.0))
+        assert np.all((t.loss_rates >= 0.0) & (t.loss_rates <= 0.10))
+
+    def test_raw_actions_recorded(self, cc_setup):
+        roll = rollout_cc_adversary(cc_setup.trainer, cc_setup.env, deterministic=True)
+        assert roll.raw_actions.shape == (25, 3)
+
+    def test_capacity_fraction_consistent(self, cc_setup):
+        roll = rollout_cc_adversary(cc_setup.trainer, cc_setup.env)
+        throughput = np.mean([s.throughput_mbps for s in roll.intervals])
+        capacity = np.mean([s.bandwidth_mbps for s in roll.intervals])
+        assert roll.capacity_fraction == pytest.approx(throughput / capacity)
+
+    def test_corpus_generation(self, cc_setup):
+        rolls = generate_cc_traces(cc_setup.trainer, cc_setup.env, 2)
+        assert len(rolls) == 2
+        with pytest.raises(ValueError):
+            generate_cc_traces(cc_setup.trainer, cc_setup.env, -1)

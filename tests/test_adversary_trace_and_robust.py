@@ -1,0 +1,103 @@
+"""Tests for the trace-based adversary and the robustification pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.abr.protocols import BufferBased, run_session
+from repro.abr.video import Video
+from repro.adversary.robust_training import robustify_pensieve
+from repro.adversary.trace_adversary import TraceAdversaryEnv
+from repro.rl.ppo import PPOConfig
+from repro.traces.synthetic import make_dataset
+
+
+@pytest.fixture
+def video():
+    return Video.synthetic(n_chunks=8, seed=0)
+
+
+class TestTraceAdversaryEnv:
+    def test_reward_sparse_until_final_step(self, video):
+        env = TraceAdversaryEnv(BufferBased(), video)
+        env.reset()
+        rewards = []
+        done = False
+        while not done:
+            _o, r, done, _i = env.step(np.array([0.0]))
+            rewards.append(r)
+        assert all(r == 0.0 for r in rewards[:-1])
+
+    def test_final_reward_matches_components(self, video):
+        env = TraceAdversaryEnv(BufferBased(), video)
+        env.reset()
+        rng = np.random.default_rng(0)
+        done = False
+        while not done:
+            _o, r, done, info = env.step(rng.uniform(-1, 1, 1))
+        assert r == pytest.approx(
+            info["r_opt"] - info["r_protocol"] - info["smoothing"]
+        )
+        assert info["r_opt"] >= info["r_protocol"] - 1e-9
+
+    def test_final_reward_consistent_with_replay(self, video):
+        env = TraceAdversaryEnv(BufferBased(), video)
+        env.reset()
+        done = False
+        while not done:
+            _o, _r, done, info = env.step(np.array([0.5]))
+        trace = env.build_trace()
+        replay = run_session(video, trace, BufferBased())
+        assert replay.qoe_total == pytest.approx(info["r_protocol"])
+
+    def test_step_past_end_raises(self, video):
+        env = TraceAdversaryEnv(BufferBased(), video)
+        env.reset()
+        for _ in range(video.n_chunks):
+            env.step(np.array([0.0]))
+        with pytest.raises(RuntimeError):
+            env.step(np.array([0.0]))
+
+    def test_build_trace_requires_actions(self, video):
+        env = TraceAdversaryEnv(BufferBased(), video)
+        env.reset()
+        with pytest.raises(RuntimeError):
+            env.build_trace()
+
+    def test_observation_encodes_progress(self, video):
+        env = TraceAdversaryEnv(BufferBased(), video)
+        obs = env.reset()
+        assert obs[0] == 0.0
+        obs, *_ = env.step(np.array([0.0]))
+        assert obs[0] == pytest.approx(1.0 / video.n_chunks)
+
+
+class TestRobustificationPipeline:
+    def test_tiny_pipeline_end_to_end(self, video):
+        corpus = make_dataset("broadband", 3, seed=0, duration=80.0)
+        tiny = PPOConfig(n_steps=128, batch_size=64, hidden=(16,))
+        result = robustify_pensieve(
+            corpus,
+            video,
+            total_steps=512,
+            switch_fraction=0.5,
+            adversary_steps=128,
+            n_adversarial_traces=4,
+            seed=0,
+            config=tiny,
+            adversary_config=PPOConfig(n_steps=64, batch_size=32, hidden=(8,)),
+        )
+        # Both arms finished the full budget.
+        assert result.baseline.trainer.total_steps >= 512
+        assert result.robust.trainer.total_steps >= 512
+        # Only the robust arm saw the adversarial traces.
+        assert len(result.robust.env.traces) == 3 + 4
+        assert len(result.baseline.env.traces) == 3
+        assert len(result.adversarial_traces) == 4
+        # The two arms diverged (different corpora after the fork).
+        out_b = run_session(video, corpus[0], result.baseline.agent)
+        out_r = run_session(video, corpus[0], result.robust.agent)
+        assert len(out_b.qualities) == len(out_r.qualities) == video.n_chunks
+
+    def test_invalid_switch_fraction(self, video):
+        with pytest.raises(ValueError):
+            robustify_pensieve([], video, switch_fraction=1.5)

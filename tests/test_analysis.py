@@ -1,0 +1,104 @@
+"""Tests for analysis statistics and ASCII reporting (repro.analysis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    ascii_cdf,
+    ascii_timeseries,
+    bootstrap_ci,
+    cdf,
+    format_table,
+    fraction_better,
+    percentile,
+    qoe_ratio_summary,
+)
+
+
+class TestCdf:
+    def test_sorted_and_normalized(self):
+        x, y = cdf([3.0, 1.0, 2.0])
+        np.testing.assert_array_equal(x, [1.0, 2.0, 3.0])
+        np.testing.assert_allclose(y, [1 / 3, 2 / 3, 1.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            cdf([])
+
+    @given(st.lists(st.floats(-1e3, 1e3), min_size=1, max_size=50))
+    @settings(max_examples=30, deadline=None)
+    def test_cdf_is_monotone_and_ends_at_one(self, values):
+        x, y = cdf(values)
+        assert np.all(np.diff(x) >= 0)
+        assert np.all(np.diff(y) > 0)
+        assert y[-1] == 1.0
+
+
+class TestStats:
+    def test_percentile(self):
+        assert percentile(range(101), 95) == pytest.approx(95.0)
+
+    def test_fraction_better(self):
+        assert fraction_better([2, 2, 0], [1, 3, -1]) == pytest.approx(2 / 3)
+        with pytest.raises(ValueError):
+            fraction_better([1], [1, 2])
+        with pytest.raises(ValueError):
+            fraction_better([], [])
+
+    def test_qoe_ratio_summary(self):
+        other = [2.0, 3.0, 4.0]
+        targeted = [1.0, 1.5, 1.0]
+        s = qoe_ratio_summary(other, targeted)
+        np.testing.assert_allclose(s.mean, np.mean([2.0, 2.0, 4.0]))
+        assert s.max == 4.0
+        assert s.fraction_other_better == 1.0
+        assert s.n == 3
+
+    def test_qoe_ratio_floors_negative_values(self):
+        s = qoe_ratio_summary([1.0], [-5.0], floor=0.05)
+        assert s.mean == pytest.approx(1.0 / 0.05)
+
+    def test_bootstrap_ci_contains_mean(self):
+        rng = np.random.default_rng(0)
+        data = rng.normal(10.0, 1.0, 200)
+        lo, hi = bootstrap_ci(data, seed=1)
+        assert lo < 10.0 < hi
+        assert hi - lo < 1.0
+
+    def test_bootstrap_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bootstrap_ci([])
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        out = format_table(["name", "qoe"], [["mpc", 1.23456], ["bb", 0.5]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert "1.235" in lines[2]
+        assert lines[0].startswith("name")
+
+    def test_ascii_cdf_contains_legend_and_marks(self):
+        out = ascii_cdf({"mpc": [1, 2, 3], "bb": [2, 3, 4]})
+        assert "a=mpc" in out and "b=bb" in out
+        assert "a" in out and "b" in out
+
+    def test_ascii_cdf_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_cdf({})
+
+    def test_ascii_timeseries_shape(self):
+        out = ascii_timeseries(np.sin(np.linspace(0, 6, 200)), width=40, height=8)
+        lines = out.splitlines()
+        assert len(lines) == 9
+        assert out.count("*") == 40  # one mark per column
+
+    def test_ascii_timeseries_constant_series(self):
+        out = ascii_timeseries([5.0, 5.0, 5.0])
+        assert "*" in out
+
+    def test_ascii_timeseries_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_timeseries([])

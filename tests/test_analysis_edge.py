@@ -1,0 +1,68 @@
+"""Edge cases for the analysis helpers (repro.analysis)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    ascii_cdf,
+    ascii_timeseries,
+    bootstrap_ci,
+    format_table,
+    qoe_ratio_summary,
+)
+
+
+class TestFormatTableEdges:
+    def test_empty_rows(self):
+        out = format_table(["a", "b"], [])
+        lines = out.splitlines()
+        assert lines[0].startswith("a")
+        assert len(lines) == 2  # header + rule, no data
+
+    def test_mixed_types(self):
+        out = format_table(["k", "v"], [["x", 1], ["y", 2.5], ["z", "raw"]])
+        assert "2.500" in out and "raw" in out
+
+    def test_precision(self):
+        out = format_table(["v"], [[np.pi]], precision=1)
+        assert "3.1" in out and "3.14" not in out
+
+
+class TestAsciiEdges:
+    def test_cdf_identical_values(self):
+        out = ascii_cdf({"x": [2.0, 2.0, 2.0]})
+        assert "a=x" in out
+
+    def test_cdf_many_series_truncates_marks(self):
+        series = {f"s{i}": [float(i), float(i + 1)] for i in range(12)}
+        out = ascii_cdf(series)  # must not crash; marks capped at 10
+        assert "a=s0" in out
+
+    def test_timeseries_short_series(self):
+        out = ascii_timeseries([1.0, 2.0], width=10, height=4)
+        assert "*" in out
+
+    def test_timeseries_downsamples_long_series(self):
+        out = ascii_timeseries(np.arange(10_000.0), width=30, height=5)
+        # height rows plus the axis line -> height newline separators.
+        assert out.count("\n") == 5
+        assert out.count("*") == 30  # one mark per column after binning
+
+
+class TestStatsEdges:
+    def test_ratio_summary_length_mismatch(self):
+        with pytest.raises(ValueError):
+            qoe_ratio_summary([1.0], [1.0, 2.0])
+
+    def test_ratio_summary_empty(self):
+        with pytest.raises(ValueError):
+            qoe_ratio_summary([], [])
+
+    def test_bootstrap_with_median(self):
+        data = np.concatenate([np.full(50, 1.0), np.full(50, 3.0), [100.0]])
+        lo, hi = bootstrap_ci(data, stat=np.median, seed=2)
+        assert lo >= 1.0 and hi <= 3.0  # outlier-insensitive
+
+    def test_bootstrap_deterministic_given_seed(self):
+        data = np.random.default_rng(0).normal(size=100)
+        assert bootstrap_ci(data, seed=5) == bootstrap_ci(data, seed=5)

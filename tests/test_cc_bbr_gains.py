@@ -1,0 +1,73 @@
+"""Focused tests on BBR's gain schedule and control outputs."""
+
+import pytest
+
+from repro.cc.protocols.bbr import BBRSender
+
+
+class TestPacingGains:
+    def test_startup_gain(self):
+        sender = BBRSender()
+        assert sender.mode == BBRSender.STARTUP
+        assert sender.pacing_gain == pytest.approx(2.885)
+
+    def test_drain_gain_is_inverse(self):
+        sender = BBRSender()
+        sender.mode = BBRSender.DRAIN
+        assert sender.pacing_gain == pytest.approx(1.0 / 2.885)
+
+    def test_probe_bw_cycles_through_gains(self):
+        sender = BBRSender()
+        sender.mode = BBRSender.PROBE_BW
+        seen = []
+        for i in range(8):
+            sender.cycle_index = i
+            seen.append(sender.pacing_gain)
+        assert seen == list(BBRSender.CYCLE_GAINS)
+
+    def test_probe_rtt_gain_is_one(self):
+        sender = BBRSender()
+        sender.mode = BBRSender.PROBE_RTT
+        assert sender.pacing_gain == 1.0
+
+    def test_pacing_rate_scales_with_bw_estimate(self):
+        sender = BBRSender(init_bw_mbps=2.0)
+        base = sender.pacing_rate_bps(0.0)
+        assert base == pytest.approx(2.885 * 2e6)
+        sender._bw_samples.append((0, 10e6))
+        assert sender.pacing_rate_bps(0.0) == pytest.approx(2.885 * 10e6)
+
+
+class TestCwnd:
+    def test_cwnd_floor(self):
+        sender = BBRSender(min_cwnd_packets=4)
+        # No estimates: BDP falls back to 10 packets, STARTUP gain 2.885.
+        assert sender.cwnd_packets >= 4
+
+    def test_cwnd_tracks_bdp(self):
+        sender = BBRSender()
+        sender.mode = BBRSender.PROBE_BW
+        sender._bw_samples.append((0, 12e6))
+        sender._min_rtt_s = 0.040
+        bdp = 12e6 * 0.040 / 8.0 / 1500.0
+        assert sender.cwnd_packets == int(2.0 * bdp)
+
+    def test_timeout_resets_full_pipe_detection(self):
+        sender = BBRSender()
+        sender.filled_pipe = True
+        sender.mode = BBRSender.PROBE_BW
+        sender.on_timeout(5.0)
+        assert not sender.filled_pipe
+        assert sender.mode == BBRSender.STARTUP
+
+
+class TestModeLog:
+    def test_initial_entry(self):
+        sender = BBRSender()
+        assert sender.mode_log == [(0.0, BBRSender.STARTUP)]
+
+    def test_transitions_recorded_once(self):
+        sender = BBRSender()
+        sender._set_mode(BBRSender.DRAIN, 1.0)
+        sender._set_mode(BBRSender.DRAIN, 2.0)  # no duplicate
+        assert sender.mode_log == [(0.0, "STARTUP"), (1.0, "DRAIN")]

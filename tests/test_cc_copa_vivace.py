@@ -1,0 +1,136 @@
+"""Tests for Copa and PCC Vivace (repro.cc.protocols.copa / vivace)."""
+
+import numpy as np
+import pytest
+
+from repro.cc import CopaSender, CubicSender, VivaceSender
+from repro.cc.metrics import run_sender_on_trace
+from repro.cc.packet import AckInfo
+from repro.traces.trace import Trace
+
+
+def run(sender, bw=12.0, lat=40.0, loss=0.0, duration=12.0, seed=1):
+    trace = Trace.constant(bw, duration, latency_ms=lat, loss_rate=loss)
+    return run_sender_on_trace(sender, trace, seed=seed)
+
+
+def ack(seq, now, rtt=0.04):
+    return AckInfo(seq=seq, now=now, rtt_s=rtt, delivered_bytes=seq * 1500,
+                   delivery_rate_bps=1e6, queue_sojourn_s=0.0)
+
+
+class TestCopaMechanics:
+    def test_invalid_delta(self):
+        with pytest.raises(ValueError):
+            CopaSender(delta=0.0)
+
+    def test_queuing_delay_from_filters(self):
+        copa = CopaSender()
+        copa.on_ack(ack(0, 0.01, rtt=0.040))
+        copa.on_ack(ack(1, 0.02, rtt=0.060))
+        assert copa.rtt_min_s == pytest.approx(0.040)
+        assert copa.queuing_delay_s() >= 0.0
+
+    def test_window_grows_when_queue_empty(self):
+        copa = CopaSender(initial_cwnd=10.0)
+        w0 = copa.cwnd
+        for i in range(20):
+            copa.on_ack(ack(i, 0.01 * (i + 1), rtt=0.040))  # constant rtt: dq=0
+        assert copa.cwnd > w0
+
+    def test_window_shrinks_under_heavy_queueing(self):
+        copa = CopaSender(initial_cwnd=100.0)
+        copa.on_ack(ack(0, 0.01, rtt=0.040))  # establishes rtt_min
+        w0 = copa.cwnd
+        # Sustained 200 ms RTTs: once the 40 ms sample ages out of the
+        # standing window, dq is large and the window must come down.
+        for i in range(1, 50):
+            copa.on_ack(ack(i, 0.01 + 0.01 * i, rtt=0.200))
+        assert copa.cwnd < w0
+
+    def test_velocity_resets_on_timeout(self):
+        copa = CopaSender()
+        copa.velocity = 16.0
+        copa.on_timeout(1.0)
+        assert copa.velocity == 1.0
+        assert copa.cwnd == 2.0
+
+
+class TestCopaBehaviour:
+    def test_high_utilization_low_delay(self):
+        result = run(CopaSender())
+        assert result.mean_utilization > 0.9
+        assert result.mean_queue_delay_s < 0.030
+
+    def test_loss_tolerant(self):
+        """Copa is delay-based: 2% random loss barely dents it."""
+        result = run(CopaSender(), loss=0.02)
+        assert result.capacity_fraction > 0.85
+
+    def test_keeps_far_less_queue_than_cubic(self):
+        copa = run(CopaSender())
+        cubic = run(CubicSender())
+        assert copa.mean_queue_delay_s < 0.3 * cubic.mean_queue_delay_s
+
+
+class TestVivaceMechanics:
+    def test_utility_prefers_higher_clean_rate(self):
+        sender = VivaceSender()
+        from repro.cc.protocols.vivace import _MonitorInterval
+
+        low = _MonitorInterval(start=0, duration=0.05, rate_mbps=2.0, acked=10)
+        high = _MonitorInterval(start=0, duration=0.05, rate_mbps=8.0, acked=10)
+        assert sender._utility(high) > sender._utility(low)
+
+    def test_utility_penalizes_rtt_inflation(self):
+        sender = VivaceSender()
+        from repro.cc.protocols.vivace import _MonitorInterval
+
+        clean = _MonitorInterval(start=0, duration=0.05, rate_mbps=8.0, acked=10,
+                                 first_rtt=0.04, last_rtt=0.04,
+                                 first_rtt_time=0.0, last_rtt_time=0.05)
+        inflating = _MonitorInterval(start=0, duration=0.05, rate_mbps=8.0, acked=10,
+                                     first_rtt=0.04, last_rtt=0.08,
+                                     first_rtt_time=0.0, last_rtt_time=0.05)
+        assert sender._utility(clean) > sender._utility(inflating)
+
+    def test_gradient_step_confidence_amplifies(self):
+        sender = VivaceSender(base_step_mbps=0.5)
+        r0 = sender.rate_mbps
+        sender._pending = [(r0 * 1.05, 10.0), (r0 * 0.95, 5.0)]
+        sender._gradient_step()
+        first_step = sender.rate_mbps - r0
+        r1 = sender.rate_mbps
+        sender._pending = [(r1 * 1.05, 10.0), (r1 * 0.95, 5.0)]
+        sender._gradient_step()
+        assert sender.rate_mbps - r1 > first_step  # amplified
+
+    def test_rate_bounds_respected(self):
+        sender = VivaceSender(initial_rate_mbps=0.3, min_rate_mbps=0.2,
+                              base_step_mbps=10.0)
+        sender._pending = [(0.32, 0.0), (0.28, 100.0)]  # strong negative gradient
+        sender._gradient_step()
+        assert sender.rate_mbps >= 0.2
+
+    def test_timeout_halves_rate(self):
+        sender = VivaceSender(initial_rate_mbps=8.0)
+        sender.on_timeout(1.0)
+        assert sender.rate_mbps == pytest.approx(4.0)
+
+
+class TestVivaceBehaviour:
+    def test_reaches_high_utilization(self):
+        result = run(VivaceSender(), duration=15.0)
+        assert result.mean_utilization > 0.8
+
+    def test_loss_tolerant_unlike_cubic(self):
+        vivace = run(VivaceSender(), loss=0.02, duration=15.0)
+        cubic = run(CubicSender(), loss=0.02, duration=15.0)
+        assert vivace.capacity_fraction > 2.0 * cubic.capacity_fraction
+
+    def test_monitor_intervals_scored(self):
+        sender = VivaceSender()
+        run_sender_on_trace(
+            sender, Trace.constant(12.0, 5.0, latency_ms=40.0, loss_rate=0.0)
+        )
+        assert len(sender.utility_log) > 10

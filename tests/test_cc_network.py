@@ -1,0 +1,144 @@
+"""Tests for the packet-level emulator (repro.cc.network)."""
+
+import numpy as np
+import pytest
+
+from repro.cc.link import TimeVaryingLink
+from repro.cc.network import PacketNetworkEmulator
+from repro.cc.packet import MSS_BYTES, AckInfo
+from repro.cc.protocols.base import Sender
+
+
+class GreedySender(Sender):
+    """Fixed window, fast pacing: saturates any reasonable link."""
+
+    def __init__(self, cwnd=64, rate_bps=100e6):
+        super().__init__()
+        self._cwnd = cwnd
+        self._rate = rate_bps
+
+    def on_ack(self, ack: AckInfo) -> None:
+        pass
+
+    def on_packet_lost(self, seq: int, now: float) -> None:
+        pass
+
+    def on_timeout(self, now: float) -> None:
+        pass
+
+    @property
+    def cwnd_packets(self) -> int:
+        return self._cwnd
+
+    def pacing_rate_bps(self, now: float) -> float:
+        return self._rate
+
+
+def make_emulator(bw=12.0, lat=40.0, loss=0.0, queue=120, sender=None, seed=0):
+    sender = sender or GreedySender()
+    link = TimeVaryingLink(bw, lat, loss, queue_packets=queue)
+    return PacketNetworkEmulator(sender, link, seed=seed), sender, link
+
+
+class TestEmulatorBasics:
+    def test_saturating_sender_achieves_capacity(self):
+        emu, sender, _link = make_emulator()
+        for _ in range(100):
+            emu.run_interval(0.03)
+        util = np.mean([s.utilization for s in emu.history[20:]])
+        assert util > 0.95
+
+    def test_packet_conservation(self):
+        emu, sender, link = make_emulator(loss=0.02, queue=30)
+        for _ in range(100):
+            emu.run_interval(0.03)
+        emu.run_until(emu.now + 1.0)  # let the pipe drain acks
+        sent = emu._next_seq
+        accounted = (
+            sender.total_acked
+            + link.drops_loss
+            + link.drops_queue
+            + len(link.queue)
+            + sender.inflight_packets
+        )
+        # Packets between egress and ack arrival are neither queued nor
+        # counted yet; allow that small in-flight-on-the-wire margin.
+        assert abs(sent - accounted) <= 2 * 64
+
+    def test_rtt_approximates_latency_plus_queue(self):
+        emu, sender, _link = make_emulator(bw=50.0, lat=40.0)
+        for _ in range(50):
+            emu.run_interval(0.03)
+        # Little queueing at 50 Mbps with a 64-packet window.
+        assert sender.srtt_s == pytest.approx(0.040, abs=0.02)
+
+    def test_random_loss_drops_packets(self):
+        emu, sender, link = make_emulator(loss=0.10)
+        for _ in range(100):
+            emu.run_interval(0.03)
+        assert link.drops_loss > 0
+        observed = link.drops_loss / emu._next_seq
+        assert observed == pytest.approx(0.10, abs=0.03)
+
+    def test_queue_overflow_drops(self):
+        emu, _sender, link = make_emulator(bw=2.0, queue=10)
+        for _ in range(100):
+            emu.run_interval(0.03)
+        assert link.drops_queue > 0
+
+    def test_interval_stats_fields(self):
+        emu, _sender, _link = make_emulator()
+        stats = emu.run_interval(0.03)
+        assert stats.t_start == 0.0
+        assert stats.t_end == pytest.approx(0.03)
+        assert 0.0 <= stats.utilization <= 1.0
+        assert stats.bandwidth_mbps == 12.0
+
+    def test_invalid_interval(self):
+        emu, _s, _l = make_emulator()
+        with pytest.raises(ValueError):
+            emu.run_interval(0.0)
+
+    def test_cannot_run_backwards(self):
+        emu, _s, _l = make_emulator()
+        emu.run_until(1.0)
+        with pytest.raises(ValueError):
+            emu.run_until(0.5)
+
+    def test_set_conditions_takes_effect(self):
+        emu, _sender, link = make_emulator()
+        emu.run_interval(0.03)
+        emu.set_conditions(24.0, 15.0, 0.0)
+        stats = emu.run_interval(0.03)
+        assert stats.bandwidth_mbps == 24.0
+        assert link.latency_ms == 15.0
+
+    def test_throughput_property(self):
+        emu, _s, _l = make_emulator()
+        for _ in range(40):
+            emu.run_interval(0.03)
+        s = emu.history[-1]
+        assert s.throughput_mbps == pytest.approx(
+            s.bytes_delivered * 8.0 / 0.03 / 1e6, rel=0.01
+        )
+
+    def test_determinism_with_seed(self):
+        a, _, _ = make_emulator(loss=0.05, seed=3)
+        b, _, _ = make_emulator(loss=0.05, seed=3)
+        for _ in range(30):
+            a.run_interval(0.03)
+            b.run_interval(0.03)
+        assert [s.bytes_delivered for s in a.history] == [
+            s.bytes_delivered for s in b.history
+        ]
+
+
+class TestTimeoutPath:
+    def test_total_loss_triggers_timeout(self):
+        emu, sender, _link = make_emulator(loss=1.0)
+        timeouts = []
+        original = sender.on_timeout
+        sender.on_timeout = lambda now: timeouts.append(now)
+        for _ in range(100):
+            emu.run_interval(0.03)
+        assert timeouts, "RTO should fire when every packet is lost"

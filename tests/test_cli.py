@@ -1,0 +1,85 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.traces.io import load_corpus
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["train-abr-adversary"])
+        assert args.target == "bb"
+        assert args.goal == "qoe_regret"
+
+
+class TestMakeDataset:
+    def test_writes_corpus(self, tmp_path, capsys):
+        out = tmp_path / "corpus.jsonl"
+        assert main(["make-dataset", "--kind", "3g", "--count", "4",
+                     "--duration", "60", "--out", str(out)]) == 0
+        traces = load_corpus(out)
+        assert len(traces) == 4
+        assert "wrote 4 3g traces" in capsys.readouterr().out
+
+
+class TestTrainAndEvaluate:
+    def test_abr_roundtrip(self, tmp_path, capsys):
+        traces_path = tmp_path / "adv.jsonl"
+        model_path = tmp_path / "adv.npz"
+        rc = main([
+            "train-abr-adversary", "--target", "bb", "--steps", "256",
+            "--chunks", "10", "--n-traces", "3",
+            "--out", str(model_path), "--traces-out", str(traces_path),
+        ])
+        assert rc == 0
+        assert model_path.exists()
+        corpus = load_corpus(traces_path)
+        assert len(corpus) == 3
+        assert np.all(corpus[0].bandwidths_mbps >= 0.8)
+
+        rc = main(["evaluate-abr", "--traces", str(traces_path),
+                   "--chunks", "10", "--chunk-indexed"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "mpc" in out and "bb" in out
+
+    def test_regression_build_and_check(self, tmp_path, capsys):
+        suite_path = tmp_path / "suite.json"
+        rc = main([
+            "regression-build", "--protocol", "bb", "--steps", "256",
+            "--n-traces", "3", "--keep", "2", "--chunks", "10",
+            "--out", str(suite_path),
+        ])
+        assert rc == 0
+        assert suite_path.exists()
+        # The protocol passes its own recorded thresholds.
+        rc = main(["regression-check", "--suite", str(suite_path),
+                   "--protocol", "bb", "--chunks", "10"])
+        assert rc == 0
+        assert "passed" in capsys.readouterr().out
+
+    def test_cc_roundtrip(self, tmp_path, capsys):
+        traces_path = tmp_path / "cc.jsonl"
+        rc = main([
+            "train-cc-adversary", "--sender", "bbr", "--steps", "64",
+            "--episode-intervals", "20", "--n-traces", "2",
+            "--traces-out", str(traces_path),
+        ])
+        assert rc == 0
+        corpus = load_corpus(traces_path)
+        assert len(corpus) == 2
+        assert corpus[0].loss_rates is not None
+
+        rc = main(["evaluate-cc", "--traces", str(traces_path), "--sender", "bbr"])
+        assert rc == 0
+        assert "capacity fraction" in capsys.readouterr().out

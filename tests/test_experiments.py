@@ -1,0 +1,94 @@
+"""Tests for the experiment runners (repro.experiments)."""
+
+import numpy as np
+import pytest
+
+from repro.abr.protocols import BufferBased, RateBased
+from repro.abr.video import Video
+from repro.experiments import (
+    evaluate_protocols,
+    run_abr_cdf_experiment,
+    run_bb_weakness_experiment,
+    run_robustness_experiment,
+)
+from repro.rl.ppo import PPOConfig
+from repro.traces.random_traces import random_abr_traces
+from repro.traces.synthetic import make_dataset
+
+
+@pytest.fixture(scope="module")
+def video():
+    return Video.synthetic(n_chunks=10, seed=0)
+
+
+@pytest.fixture(scope="module")
+def traces():
+    return random_abr_traces(4, seed=0, n_segments=10)
+
+
+class TestEvaluateProtocols:
+    def test_shape(self, video, traces):
+        out = evaluate_protocols(
+            video, traces, {"bb": BufferBased(), "rb": RateBased()},
+            chunk_indexed=True,
+        )
+        assert set(out) == {"bb", "rb"}
+        assert all(len(v) == len(traces) for v in out.values())
+
+    def test_empty_corpus_rejected(self, video):
+        with pytest.raises(ValueError):
+            evaluate_protocols(video, [], {"bb": BufferBased()})
+
+    def test_deterministic(self, video, traces):
+        a = evaluate_protocols(video, traces, {"bb": BufferBased()}, chunk_indexed=True)
+        b = evaluate_protocols(video, traces, {"bb": BufferBased()}, chunk_indexed=True)
+        assert a == b
+
+
+class TestCdfExperiment:
+    def test_ratio_pairs_resolved(self, video, traces):
+        corpora = {"random": traces}
+        exp = run_abr_cdf_experiment(
+            video, corpora, {"bb": BufferBased(), "rb": RateBased()},
+            ratio_pairs=[("rb", "bb", "random")],
+        )
+        assert ("rb", "bb", "random") in exp.ratios
+        assert exp.ratios[("rb", "bb", "random")].n == len(traces)
+        assert set(exp.qoe["random"]) == {"bb", "rb"}
+
+
+class TestBbWeakness:
+    def test_fields_consistent(self, video, traces):
+        exp = run_bb_weakness_experiment(video, traces[0], BufferBased())
+        assert len(exp.bb_bitrates_kbps) == video.n_chunks
+        assert len(exp.optimal_bitrates_kbps) == video.n_chunks
+        assert exp.optimal_qoe_total >= exp.bb_qoe_total - 1e-9
+        assert 0.0 <= exp.fraction_in_switching_band <= 1.0
+        assert exp.bb_switches == int(
+            np.count_nonzero(np.diff(exp.bb_bitrates_kbps))
+        )
+
+
+class TestRobustnessExperiment:
+    def test_tiny_run_structure(self, video):
+        corpus = make_dataset("broadband", 3, seed=0, duration=60.0)
+        test_sets = {"a": corpus[:2], "b": corpus[1:]}
+        exp = run_robustness_experiment(
+            video, corpus, test_sets, "broadband",
+            total_steps=768, adversary_steps=128, n_adversarial_traces=2,
+            switch_fractions=(0.5,),
+            pensieve_config=PPOConfig(n_steps=128, batch_size=64, hidden=(16,)),
+            adversary_config=PPOConfig(n_steps=64, batch_size=32, hidden=(8,)),
+        )
+        assert set(exp.qoe) == {"without", "adv@50%"}
+        for variant in exp.qoe.values():
+            assert set(variant) == {"a", "b"}
+            for mean, p5 in variant.values():
+                assert np.isfinite(mean) and np.isfinite(p5)
+        assert exp.adversarial_trace_count["adv@50%"] == 2
+
+    def test_invalid_fraction(self, video):
+        with pytest.raises(ValueError):
+            run_robustness_experiment(
+                video, [], {}, "x", switch_fractions=(1.2,)
+            )

@@ -1,0 +1,43 @@
+"""Tests for the CC experiment runner (repro.experiments.cc_suite)."""
+
+import numpy as np
+import pytest
+
+from repro.adversary.cc_env import train_cc_adversary
+from repro.cc.protocols.bbr import BBRSender
+from repro.experiments import run_bbr_adversarial_experiment
+from repro.rl.ppo import PPOConfig
+
+
+@pytest.fixture(scope="module")
+def cc_result():
+    cfg = PPOConfig(n_steps=128, batch_size=64, hidden=(4,), init_log_std=-0.7)
+    return train_cc_adversary(BBRSender, total_steps=256, seed=0,
+                              episode_intervals=60, config=cfg)
+
+
+class TestBbrAdversarialExperiment:
+    def test_structure(self, cc_result):
+        exp = run_bbr_adversarial_experiment(
+            cc_result.trainer, cc_result.env, n_online=2, n_replay=2
+        )
+        assert len(exp.online_capacity_fractions) == 2
+        assert len(exp.replayed) == 2
+        assert exp.fig5_throughput_mbps.shape == exp.fig5_bandwidth_mbps.shape
+        assert exp.deterministic.raw_actions.shape[1] == 3
+
+    def test_fractions_bounded(self, cc_result):
+        exp = run_bbr_adversarial_experiment(
+            cc_result.trainer, cc_result.env, n_online=2, n_replay=1
+        )
+        for frac in exp.online_capacity_fractions:
+            assert 0.0 <= frac <= 1.05
+        for run in exp.replayed:
+            assert 0.0 <= run.capacity_fraction <= 1.05
+
+    def test_probe_times_sorted(self, cc_result):
+        exp = run_bbr_adversarial_experiment(
+            cc_result.trainer, cc_result.env, n_online=1, n_replay=1
+        )
+        times = exp.deterministic_probe_times_s
+        assert times == sorted(times)

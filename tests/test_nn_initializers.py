@@ -1,0 +1,53 @@
+"""Tests for weight initializers (repro.nn.initializers)."""
+
+import numpy as np
+import pytest
+
+from repro.nn import initializers
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestOrthogonal:
+    def test_columns_orthonormal_tall(self, rng):
+        w = initializers.orthogonal(rng, 16, 4)
+        gram = w.T @ w
+        np.testing.assert_allclose(gram, np.eye(4), atol=1e-10)
+
+    def test_rows_orthonormal_wide(self, rng):
+        w = initializers.orthogonal(rng, 4, 16)
+        gram = w @ w.T
+        np.testing.assert_allclose(gram, np.eye(4), atol=1e-10)
+
+    def test_gain_scales(self, rng):
+        w = initializers.orthogonal(rng, 8, 8, gain=0.01)
+        singular = np.linalg.svd(w, compute_uv=False)
+        np.testing.assert_allclose(singular, 0.01, atol=1e-12)
+
+    def test_shape(self, rng):
+        assert initializers.orthogonal(rng, 5, 7).shape == (5, 7)
+
+
+class TestUniformInits:
+    def test_glorot_bounds(self, rng):
+        w = initializers.glorot_uniform(rng, 10, 20)
+        limit = np.sqrt(6.0 / 30.0)
+        assert np.all(np.abs(w) <= limit)
+        assert w.shape == (10, 20)
+
+    def test_he_bounds(self, rng):
+        w = initializers.he_uniform(rng, 10, 20)
+        limit = np.sqrt(6.0 / 10.0)
+        assert np.all(np.abs(w) <= limit)
+
+    def test_glorot_variance_roughly_correct(self, rng):
+        w = initializers.glorot_uniform(rng, 100, 100)
+        expected_var = (2.0 * np.sqrt(6.0 / 200.0)) ** 2 / 12.0
+        assert w.var() == pytest.approx(expected_var, rel=0.1)
+
+    def test_zeros(self, rng):
+        w = initializers.zeros(rng, 3, 4)
+        assert np.all(w == 0.0) and w.shape == (3, 4)

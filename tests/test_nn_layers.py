@@ -1,0 +1,114 @@
+"""Tests for dense layers and activations (repro.nn.layers)."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import ACTIVATIONS, Activation, Dense
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestDense:
+    def test_forward_shape(self, rng):
+        layer = Dense(4, 3, rng)
+        out = layer.forward(np.ones((5, 4)))
+        assert out.shape == (5, 3)
+
+    def test_forward_is_affine(self, rng):
+        layer = Dense(3, 2, rng)
+        x = rng.standard_normal((6, 3))
+        expected = x @ layer.W + layer.b
+        np.testing.assert_allclose(layer.forward(x), expected)
+
+    def test_backward_before_forward_raises(self, rng):
+        layer = Dense(3, 2, rng)
+        with pytest.raises(RuntimeError):
+            layer.backward(np.ones((1, 2)))
+
+    def test_backward_gradients_match_finite_differences(self, rng):
+        layer = Dense(3, 2, rng)
+        x = rng.standard_normal((4, 3))
+        w = rng.standard_normal((4, 2))
+
+        def loss():
+            return float(np.sum(layer.forward(x) * w))
+
+        layer.forward(x)
+        layer.zero_grad()
+        dx = layer.backward(w)
+        eps = 1e-6
+        for idx in np.ndindex(layer.W.shape):
+            old = layer.W[idx]
+            layer.W[idx] = old + eps
+            up = loss()
+            layer.W[idx] = old - eps
+            down = loss()
+            layer.W[idx] = old
+            assert abs((up - down) / (2 * eps) - layer.dW[idx]) < 1e-6
+        # Input gradient check.
+        num_dx = np.zeros_like(x)
+        for idx in np.ndindex(x.shape):
+            old = x[idx]
+            x[idx] = old + eps
+            up = loss()
+            x[idx] = old - eps
+            down = loss()
+            x[idx] = old
+            num_dx[idx] = (up - down) / (2 * eps)
+        np.testing.assert_allclose(dx, num_dx, atol=1e-6)
+
+    def test_gradients_accumulate_until_zero_grad(self, rng):
+        layer = Dense(2, 2, rng)
+        x = np.ones((1, 2))
+        d = np.ones((1, 2))
+        layer.forward(x)
+        layer.backward(d)
+        first = layer.dW.copy()
+        layer.forward(x)
+        layer.backward(d)
+        np.testing.assert_allclose(layer.dW, 2 * first)
+        layer.zero_grad()
+        assert np.all(layer.dW == 0) and np.all(layer.db == 0)
+
+    def test_invalid_dims_raise(self, rng):
+        with pytest.raises(ValueError):
+            Dense(0, 3, rng)
+        with pytest.raises(ValueError):
+            Dense(3, -1, rng)
+
+    def test_parameters_are_views_not_copies(self, rng):
+        layer = Dense(2, 2, rng)
+        params = layer.parameters()
+        params[0][0, 0] = 123.0
+        assert layer.W[0, 0] == 123.0
+
+
+class TestActivations:
+    @pytest.mark.parametrize("name", sorted(ACTIVATIONS))
+    def test_gradient_matches_finite_differences(self, name, rng):
+        act = Activation(name)
+        x = rng.standard_normal((3, 4)) + 0.05  # avoid relu kink at 0
+        d = rng.standard_normal((3, 4))
+        act.forward(x)
+        grad = act.backward(d)
+        eps = 1e-6
+        num = (act._fwd(x + eps) - act._fwd(x - eps)) / (2 * eps)
+        np.testing.assert_allclose(grad, d * num, atol=1e-5)
+
+    def test_unknown_activation_raises(self):
+        with pytest.raises(ValueError):
+            Activation("swishish")
+
+    def test_sigmoid_is_stable_for_large_inputs(self):
+        act = Activation("sigmoid")
+        out = act.forward(np.array([[-1000.0, 1000.0]]))
+        assert np.all(np.isfinite(out))
+        np.testing.assert_allclose(out, [[0.0, 1.0]], atol=1e-12)
+
+    def test_relu_zeroes_negatives(self):
+        act = Activation("relu")
+        out = act.forward(np.array([[-1.0, 2.0]]))
+        np.testing.assert_array_equal(out, [[0.0, 2.0]])

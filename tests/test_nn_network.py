@@ -1,0 +1,82 @@
+"""Tests for the MLP container (repro.nn.network)."""
+
+import numpy as np
+import pytest
+
+from repro.nn.network import MLP
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(1)
+
+
+class TestMLP:
+    def test_shapes_and_dims(self, rng):
+        net = MLP((5, 8, 3), rng)
+        assert net.in_dim == 5 and net.out_dim == 3
+        assert net.forward(np.zeros((7, 5))).shape == (7, 3)
+
+    def test_single_sample_promoted_to_batch(self, rng):
+        net = MLP((4, 2), rng)
+        assert net.forward(np.zeros(4)).shape == (1, 2)
+
+    def test_wrong_input_dim_raises(self, rng):
+        net = MLP((4, 2), rng)
+        with pytest.raises(ValueError):
+            net.forward(np.zeros((1, 5)))
+
+    def test_too_few_sizes_raises(self, rng):
+        with pytest.raises(ValueError):
+            MLP((4,), rng)
+
+    def test_full_gradient_check(self, rng):
+        net = MLP((3, 6, 2), rng, activation="tanh")
+        x = rng.standard_normal((5, 3))
+        w = rng.standard_normal((5, 2))
+
+        def loss():
+            return float(np.sum(net.forward(x) * w))
+
+        net.zero_grad()
+        net.forward(x)
+        net.backward(w)
+        grads = [g.copy() for g in net.gradients()]
+        eps = 1e-6
+        for p, g in zip(net.parameters(), grads):
+            flat = p.reshape(-1)
+            gflat = g.reshape(-1)
+            for i in range(flat.size):
+                old = flat[i]
+                flat[i] = old + eps
+                up = loss()
+                flat[i] = old - eps
+                down = loss()
+                flat[i] = old
+                assert abs((up - down) / (2 * eps) - gflat[i]) < 1e-6
+
+    def test_get_set_weights_roundtrip(self, rng):
+        net = MLP((3, 4, 2), rng)
+        other = MLP((3, 4, 2), np.random.default_rng(99))
+        x = rng.standard_normal((2, 3))
+        assert not np.allclose(net.forward(x), other.forward(x))
+        other.set_weights(net.get_weights())
+        np.testing.assert_allclose(net.forward(x), other.forward(x))
+
+    def test_set_weights_shape_mismatch_raises(self, rng):
+        net = MLP((3, 4, 2), rng)
+        weights = net.get_weights()
+        with pytest.raises(ValueError):
+            net.set_weights(weights[:-1])
+        weights[0] = np.zeros((1, 1))
+        with pytest.raises(ValueError):
+            net.set_weights(weights)
+
+    def test_num_parameters(self, rng):
+        net = MLP((3, 4, 2), rng)
+        assert net.num_parameters() == 3 * 4 + 4 + 4 * 2 + 2
+
+    def test_small_out_gain_gives_near_uniform_head(self, rng):
+        net = MLP((6, 16, 4), rng, out_gain=0.01)
+        out = net.forward(rng.standard_normal((10, 6)))
+        assert np.max(np.abs(out)) < 0.5

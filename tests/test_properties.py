@@ -1,0 +1,144 @@
+"""Cross-module property-based tests (hypothesis) on system invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.abr.protocols import BufferBased, MPC, RateBased, run_session
+from repro.abr.protocols.optimal import optimal_plan_dp
+from repro.abr.simulator import (
+    BUFFER_CAP_S,
+    ChunkIndexedBandwidth,
+    ControlledBandwidth,
+    StreamingSession,
+)
+from repro.abr.video import Video
+from repro.cc.link import TimeVaryingLink
+from repro.cc.network import PacketNetworkEmulator
+from repro.cc.protocols.bbr import BBRSender
+from repro.traces.trace import Trace
+
+bw_lists = st.lists(st.floats(0.3, 6.0), min_size=10, max_size=10)
+
+
+class TestChunkIndexedBandwidth:
+    def test_consumes_rates_in_order(self):
+        schedule = ChunkIndexedBandwidth([1.0, 2.0])
+        t1 = schedule.download_time(1e6, 0.0)
+        t2 = schedule.download_time(1e6, 100.0)  # t_start is irrelevant
+        assert t1 == pytest.approx(2.0 * t2)
+
+    def test_exhaustion_raises_without_cycle(self):
+        schedule = ChunkIndexedBandwidth([1.0])
+        schedule.download_time(1e6, 0.0)
+        with pytest.raises(RuntimeError):
+            schedule.download_time(1e6, 0.0)
+
+    def test_cycle_wraps(self):
+        schedule = ChunkIndexedBandwidth([1.0, 4.0], cycle=True)
+        times = [schedule.download_time(1e6, 0.0) for _ in range(4)]
+        assert times[0] == pytest.approx(times[2])
+        assert times[1] == pytest.approx(times[3])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ChunkIndexedBandwidth([])
+        with pytest.raises(ValueError):
+            ChunkIndexedBandwidth([1.0, -2.0])
+        schedule = ChunkIndexedBandwidth([1.0])
+        with pytest.raises(ValueError):
+            schedule.download_time(-5.0, 0.0)
+
+
+class TestSimulatorInvariants:
+    @given(bw_lists, st.integers(0, 5))
+    @settings(max_examples=20, deadline=None)
+    def test_buffer_never_exceeds_cap_and_never_negative(self, bandwidths, quality):
+        video = Video.synthetic(n_chunks=10, seed=1)
+        session = StreamingSession(video, ChunkIndexedBandwidth(bandwidths))
+        while not session.done:
+            result = session.download_chunk(quality)
+            assert 0.0 <= result.buffer_seconds <= BUFFER_CAP_S + 1e-9
+            assert result.rebuffer_seconds >= 0.0
+            assert result.download_seconds > 0.0
+
+    @given(bw_lists)
+    @settings(max_examples=15, deadline=None)
+    def test_wall_time_monotone_and_consistent(self, bandwidths):
+        video = Video.synthetic(n_chunks=10, seed=2)
+        session = StreamingSession(video, ChunkIndexedBandwidth(bandwidths))
+        previous = 0.0
+        while not session.done:
+            session.download_chunk(0)
+            assert session.wall_time > previous
+            previous = session.wall_time
+
+    @given(st.floats(0.5, 8.0), st.integers(0, 5))
+    @settings(max_examples=20, deadline=None)
+    def test_higher_bandwidth_never_slower(self, bandwidth, quality):
+        video = Video.synthetic(n_chunks=5, seed=3)
+        slow = StreamingSession(video, ControlledBandwidth(bandwidth))
+        fast = StreamingSession(video, ControlledBandwidth(bandwidth * 2.0))
+        slow_result = slow.download_chunk(quality)
+        fast_result = fast.download_chunk(quality)
+        assert fast_result.download_seconds < slow_result.download_seconds
+
+
+class TestOptimalDominance:
+    @given(st.lists(st.floats(0.8, 4.8), min_size=12, max_size=12),
+           st.sampled_from([BufferBased, RateBased]))
+    @settings(max_examples=10, deadline=None)
+    def test_offline_optimum_dominates_online_protocols(self, bandwidths, policy_cls):
+        """The inequality the adversary's reward depends on, under arbitrary
+        per-chunk bandwidth schedules."""
+        video = Video.synthetic(n_chunks=12, seed=4)
+        opt, _ = optimal_plan_dp(video, np.asarray(bandwidths))
+        trace = Trace.from_steps(bandwidths, video.chunk_seconds)
+        result = run_session(video, trace, policy_cls(), chunk_indexed=True)
+        assert opt >= result.qoe_total - 1e-6
+
+
+class TestEmulatorInvariants:
+    @given(
+        st.floats(6.0, 24.0),
+        st.floats(15.0, 60.0),
+        st.floats(0.0, 0.10),
+        st.integers(0, 10_000),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_table1_conditions_always_simulate_cleanly(self, bw, lat, loss, seed):
+        """Any point of the Table 1 box yields a well-formed simulation."""
+        link = TimeVaryingLink(bw, lat, loss)
+        emulator = PacketNetworkEmulator(BBRSender(), link, seed=seed)
+        for _ in range(50):
+            stats = emulator.run_interval(0.03)
+            assert 0.0 <= stats.utilization <= 1.0
+            assert stats.bytes_delivered >= 0
+            assert stats.queue_delay_end_s >= 0.0
+
+    @given(st.floats(6.0, 24.0), st.integers(0, 100))
+    @settings(max_examples=10, deadline=None)
+    def test_throughput_never_exceeds_capacity(self, bw, seed):
+        link = TimeVaryingLink(bw, 30.0, 0.0)
+        emulator = PacketNetworkEmulator(BBRSender(), link, seed=seed)
+        for _ in range(60):
+            stats = emulator.run_interval(0.03)
+            # One packet of slack for a service completing at the boundary.
+            slack = 1500 * 8.0 / 0.03 / 1e6
+            assert stats.throughput_mbps <= bw + slack
+
+
+class TestQoESelfConsistency:
+    @given(bw_lists)
+    @settings(max_examples=10, deadline=None)
+    def test_session_qoe_equals_formula(self, bandwidths):
+        """Session chunk QoE re-derives from the session's own outputs."""
+        from repro.abr.qoe import video_qoe
+
+        video = Video.synthetic(n_chunks=10, seed=5)
+        trace = Trace.from_steps(bandwidths, video.chunk_seconds)
+        result = run_session(video, trace, MPC(), chunk_indexed=True)
+        total, mean = video_qoe(result.bitrates_kbps, result.rebuffer_seconds)
+        assert total == pytest.approx(result.qoe_total)
+        assert mean == pytest.approx(result.qoe_mean)

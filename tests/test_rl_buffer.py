@@ -1,0 +1,96 @@
+"""Tests for the rollout buffer and GAE (repro.rl.buffer)."""
+
+import numpy as np
+import pytest
+
+from repro.rl.buffer import RolloutBuffer
+
+
+def fill(buffer, rewards, values, dones):
+    for r, v, d in zip(rewards, values, dones):
+        buffer.add(np.zeros(buffer.obs.shape[1]), 0, r, d, v, 0.0)
+
+
+class TestRolloutBuffer:
+    def test_capacity_enforced(self):
+        buf = RolloutBuffer(2, 1, 1, discrete=True)
+        fill(buf, [1, 1], [0, 0], [False, False])
+        with pytest.raises(RuntimeError):
+            buf.add(np.zeros(1), 0, 1.0, False, 0.0, 0.0)
+
+    def test_invalid_capacity_raises(self):
+        with pytest.raises(ValueError):
+            RolloutBuffer(0, 1, 1, discrete=True)
+
+    def test_gae_matches_hand_computation(self):
+        # Two steps, no terminal: delta_t = r + g*V_{t+1} - V_t.
+        buf = RolloutBuffer(2, 1, 1, discrete=True)
+        fill(buf, [1.0, 2.0], [0.5, 1.0], [False, False])
+        gamma, lam, last_v = 0.9, 0.8, 3.0
+        buf.compute_gae(last_v, gamma, lam)
+        delta1 = 2.0 + gamma * last_v - 1.0
+        delta0 = 1.0 + gamma * 1.0 - 0.5
+        adv1 = delta1
+        adv0 = delta0 + gamma * lam * adv1
+        np.testing.assert_allclose(buf.advantages[:2], [adv0, adv1])
+        np.testing.assert_allclose(buf.returns[:2], [adv0 + 0.5, adv1 + 1.0])
+
+    def test_gae_does_not_bootstrap_across_done(self):
+        buf = RolloutBuffer(2, 1, 1, discrete=True)
+        fill(buf, [1.0, 1.0], [0.5, 0.5], [True, False])
+        buf.compute_gae(10.0, 0.99, 0.95)
+        # First step ends an episode: advantage is just r - V.
+        np.testing.assert_allclose(buf.advantages[0], 1.0 - 0.5)
+
+    def test_terminal_last_value_ignored_when_done(self):
+        buf = RolloutBuffer(1, 1, 1, discrete=True)
+        fill(buf, [2.0], [0.0], [True])
+        buf.compute_gae(100.0, 0.99, 0.95)
+        np.testing.assert_allclose(buf.advantages[0], 2.0)
+
+    def test_gae_lambda_one_equals_monte_carlo(self):
+        buf = RolloutBuffer(3, 1, 1, discrete=True)
+        rewards = [1.0, 2.0, 3.0]
+        values = [0.1, 0.2, 0.3]
+        fill(buf, rewards, values, [False, False, True])
+        gamma = 0.9
+        buf.compute_gae(0.0, gamma, 1.0)
+        mc0 = 1.0 + gamma * 2.0 + gamma**2 * 3.0
+        np.testing.assert_allclose(buf.returns[0], mc0, rtol=1e-12)
+
+    def test_empty_gae_raises(self):
+        buf = RolloutBuffer(2, 1, 1, discrete=True)
+        with pytest.raises(RuntimeError):
+            buf.compute_gae(0.0, 0.99, 0.95)
+
+    def test_minibatches_cover_all_indices(self):
+        buf = RolloutBuffer(10, 1, 1, discrete=True)
+        fill(buf, [0.0] * 10, [0.0] * 10, [False] * 10)
+        rng = np.random.default_rng(0)
+        seen = np.concatenate(list(buf.minibatches(3, rng)))
+        assert sorted(seen.tolist()) == list(range(10))
+
+    def test_continuous_action_storage(self):
+        buf = RolloutBuffer(2, 2, 3, discrete=False)
+        buf.add(np.zeros(2), np.array([1.0, 2.0, 3.0]), 0.0, False, 0.0, 0.0)
+        np.testing.assert_allclose(buf.actions[0], [1.0, 2.0, 3.0])
+
+    def test_mean_episode_reward(self):
+        buf = RolloutBuffer(5, 1, 1, discrete=True)
+        fill(buf, [1, 2, 3, 4, 5], [0] * 5, [False, True, False, True, False])
+        # Episodes: (1+2)=3 and (3+4)=7; trailing 5 incomplete.
+        assert buf.mean_episode_reward() == pytest.approx(5.0)
+
+    def test_mean_episode_reward_fallback_without_done(self):
+        buf = RolloutBuffer(3, 1, 1, discrete=True)
+        fill(buf, [1, 1, 1], [0] * 3, [False] * 3)
+        assert buf.mean_episode_reward() == pytest.approx(3.0)
+
+    def test_reset_allows_refill(self):
+        buf = RolloutBuffer(1, 1, 1, discrete=True)
+        fill(buf, [1.0], [0.0], [False])
+        assert buf.full
+        buf.reset()
+        assert not buf.full
+        fill(buf, [2.0], [0.0], [False])
+        assert buf.rewards[0] == 2.0

@@ -1,0 +1,37 @@
+"""Tests for the REINFORCE baseline trainer (repro.rl.reinforce)."""
+
+import numpy as np
+
+from repro.rl.reinforce import Reinforce, ReinforceConfig
+from tests.toy_envs import MatchParityEnv, TargetPointEnv
+
+
+class TestReinforce:
+    def test_learns_discrete_task(self):
+        cfg = ReinforceConfig(episodes_per_update=8, learning_rate=3e-3)
+        trainer = Reinforce(MatchParityEnv(), cfg, seed=0)
+        history = trainer.learn(8000)
+        early = np.mean([h["mean_episode_reward"] for h in history[:3]])
+        late = np.mean([h["mean_episode_reward"] for h in history[-3:]])
+        assert late > early + 2.0
+
+    def test_learns_continuous_task(self):
+        cfg = ReinforceConfig(episodes_per_update=8, learning_rate=5e-3)
+        trainer = Reinforce(TargetPointEnv(target=0.4), cfg, seed=1)
+        history = trainer.learn(6000)
+        early = np.mean([h["mean_episode_reward"] for h in history[:3]])
+        late = np.mean([h["mean_episode_reward"] for h in history[-3:]])
+        assert late > early + 1.0
+
+    def test_history_fields(self):
+        trainer = Reinforce(MatchParityEnv(), ReinforceConfig(episodes_per_update=2), seed=0)
+        history = trainer.learn(32)
+        assert {"pi_loss", "v_loss", "entropy", "steps", "mean_episode_reward"} <= set(
+            history[0]
+        )
+
+    def test_predict_runs(self):
+        trainer = Reinforce(MatchParityEnv(), seed=0)
+        trainer.learn(64)
+        action = trainer.predict(np.array([1.0]))
+        assert action in (0, 1)

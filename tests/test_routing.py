@@ -1,0 +1,167 @@
+"""Tests for the routing domain (repro.routing)."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.routing import (
+    InverseCapacityRouting,
+    RoutingAdversaryEnv,
+    UnitWeightRouting,
+    abilene_like,
+    gravity_demands,
+    max_link_utilization,
+    random_topology,
+    route_demands,
+    train_learned_routing,
+    train_routing_adversary,
+)
+from repro.routing.demands import demand_pairs, normalize_demands
+from repro.routing.routing import RoutingEnv
+from repro.routing.topology import validate_topology
+from repro.rl.ppo import PPOConfig
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return abilene_like()
+
+
+class TestTopology:
+    def test_abilene_is_valid(self, graph):
+        validate_topology(graph)
+        assert graph.number_of_nodes() == 11
+        # Directed both ways.
+        assert graph.has_edge(0, 1) and graph.has_edge(1, 0)
+
+    def test_random_topology_connected_and_capacitated(self):
+        g = random_topology(n_nodes=8, seed=3)
+        validate_topology(g)
+        assert nx.is_strongly_connected(g)
+
+    def test_random_topology_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            random_topology(n_nodes=2)
+
+    def test_validate_rejects_missing_capacity(self):
+        g = nx.DiGraph()
+        g.add_edge(0, 1)
+        g.add_edge(1, 0)
+        with pytest.raises(ValueError):
+            validate_topology(g)
+
+
+class TestDemands:
+    def test_gravity_sums_to_total(self, graph):
+        demands = gravity_demands(graph, np.random.default_rng(0), 1000.0)
+        assert sum(demands.values()) == pytest.approx(1000.0)
+        assert len(demands) == len(demand_pairs(graph))
+        assert all(v > 0 for v in demands.values())
+
+    def test_normalize_rejects_empty_volume(self):
+        with pytest.raises(ValueError):
+            normalize_demands({(0, 1): 0.0}, 10.0)
+
+    def test_invalid_total_rejected(self, graph):
+        with pytest.raises(ValueError):
+            gravity_demands(graph, np.random.default_rng(0), -1.0)
+
+
+class TestRouting:
+    def test_loads_conserve_demand_on_a_path_graph(self):
+        g = nx.DiGraph()
+        for u, v in [(0, 1), (1, 2)]:
+            g.add_edge(u, v, capacity_mbps=100.0)
+            g.add_edge(v, u, capacity_mbps=100.0)
+        loads = route_demands(g, {(0, 2): 50.0}, {e: 1.0 for e in g.edges})
+        assert loads[(0, 1)] == 50.0
+        assert loads[(1, 2)] == 50.0
+        assert loads[(1, 0)] == 0.0
+
+    def test_weights_steer_traffic(self):
+        # Two disjoint 0->3 routes; penalizing one moves traffic to the other.
+        g = nx.DiGraph()
+        for u, v in [(0, 1), (1, 3), (0, 2), (2, 3)]:
+            g.add_edge(u, v, capacity_mbps=100.0)
+            g.add_edge(v, u, capacity_mbps=100.0)
+        demands = {(0, 3): 60.0}
+        w = {e: 1.0 for e in g.edges}
+        w[(0, 1)] = 10.0
+        loads = route_demands(g, demands, w)
+        assert loads[(0, 2)] == 60.0
+        assert loads[(0, 1)] == 0.0
+
+    def test_nonpositive_weight_rejected(self, graph):
+        demands = gravity_demands(graph, np.random.default_rng(0), 100.0)
+        with pytest.raises(ValueError):
+            route_demands(graph, demands, {(0, 1): 0.0})
+
+    def test_mlu_definition(self):
+        g = nx.DiGraph()
+        g.add_edge(0, 1, capacity_mbps=100.0)
+        g.add_edge(1, 0, capacity_mbps=50.0)
+        assert max_link_utilization(g, {(0, 1): 30.0, (1, 0): 40.0}) == pytest.approx(0.8)
+
+    def test_static_policies(self, graph):
+        demands = gravity_demands(graph, np.random.default_rng(1), 5000.0)
+        for policy in (UnitWeightRouting(), InverseCapacityRouting()):
+            mlu = policy.mlu(graph, demands)
+            assert 0.0 < mlu < 10.0
+
+
+class TestRoutingEnv:
+    def test_episode_mechanics(self, graph):
+        env = RoutingEnv(graph, total_mbps=5000.0, episode_len=3, seed=0)
+        obs = env.reset()
+        assert obs.shape == (len(demand_pairs(graph)),)
+        steps = 0
+        done = False
+        while not done:
+            _o, reward, done, info = env.step(np.zeros(len(sorted(graph.edges))))
+            assert reward == pytest.approx(-info["mlu"])
+            steps += 1
+        assert steps == 3
+
+    def test_training_runs(self, graph):
+        cfg = PPOConfig(n_steps=64, batch_size=32, hidden=(16,))
+        policy, trainer = train_learned_routing(
+            graph, 5000.0, total_steps=128, seed=0, config=cfg
+        )
+        demands = gravity_demands(graph, np.random.default_rng(2), 5000.0)
+        assert 0.0 < policy.mlu(graph, demands) < 10.0
+
+
+class TestRoutingAdversary:
+    def test_action_maps_to_fixed_volume(self, graph):
+        env = RoutingAdversaryEnv(UnitWeightRouting(), graph, 5000.0)
+        demands = env.action_to_demands(np.zeros(len(demand_pairs(graph))))
+        assert sum(demands.values()) == pytest.approx(5000.0)
+
+    def test_wrong_action_dim_rejected(self, graph):
+        env = RoutingAdversaryEnv(UnitWeightRouting(), graph, 5000.0)
+        with pytest.raises(ValueError):
+            env.action_to_demands(np.zeros(3))
+
+    def test_regret_nonnegative_when_target_in_portfolio(self, graph):
+        """Unit routing is in the reference portfolio, so its regret >= 0."""
+        env = RoutingAdversaryEnv(UnitWeightRouting(), graph, 5000.0, seed=0)
+        env.reset()
+        rng = np.random.default_rng(0)
+        done = False
+        while not done:
+            _o, _r, done, info = env.step(rng.normal(0, 1, len(demand_pairs(graph))))
+            assert info["regret"] >= -1e-9
+
+    def test_reward_structure(self, graph):
+        env = RoutingAdversaryEnv(UnitWeightRouting(), graph, 5000.0,
+                                  smoothing_weight=0.5)
+        env.reset()
+        _o, reward, _d, info = env.step(np.zeros(len(demand_pairs(graph))))
+        assert reward == pytest.approx(info["regret"] - 0.5 * info["smoothing"])
+
+    def test_short_training_runs(self, graph):
+        cfg = PPOConfig(n_steps=64, batch_size=32, hidden=(8,))
+        result = train_routing_adversary(
+            UnitWeightRouting(), graph, 5000.0, total_steps=128, seed=0, config=cfg
+        )
+        assert result.trainer.total_steps == 128

@@ -1,0 +1,120 @@
+"""Tests for the shared sender bookkeeping (repro.cc.protocols.base)."""
+
+import pytest
+
+from repro.cc.packet import Packet
+from repro.cc.protocols.base import Sender, ewma
+
+
+class RecordingSender(Sender):
+    """Exposes hook invocations for inspection."""
+
+    def __init__(self):
+        super().__init__()
+        self.acks = []
+        self.losses = []
+        self.timeouts = 0
+
+    def on_ack(self, ack):
+        self.acks.append(ack)
+
+    def on_packet_lost(self, seq, now):
+        self.losses.append(seq)
+
+    def on_timeout(self, now):
+        self.timeouts += 1
+
+    @property
+    def cwnd_packets(self):
+        return 10
+
+    def pacing_rate_bps(self, now):
+        return 1e6
+
+
+def make_packet(seq, sent=0.0, delivered=0, delivered_time=0.0):
+    return Packet(seq=seq, size_bytes=1500, sent_time=sent,
+                  delivered_at_send=delivered, delivered_time_at_send=delivered_time)
+
+
+class TestAckPath:
+    def test_rtt_and_srtt(self):
+        s = RecordingSender()
+        p = make_packet(0, sent=1.0)
+        s.register_send(p)
+        s.handle_ack(p, 1.05)
+        assert s.last_rtt_s == pytest.approx(0.05)
+        assert s.srtt_s == pytest.approx(0.05)
+        # EWMA: 0.875*old + 0.125*new.
+        p2 = make_packet(1, sent=1.1)
+        s.register_send(p2)
+        s.handle_ack(p2, 1.2)
+        assert s.srtt_s == pytest.approx(0.875 * 0.05 + 0.125 * 0.1)
+
+    def test_delivery_rate_sample(self):
+        s = RecordingSender()
+        p = make_packet(0, sent=0.0, delivered=0, delivered_time=0.0)
+        s.register_send(p)
+        s.handle_ack(p, 0.5)
+        # 1500 bytes delivered over 0.5 s -> 24 kbps.
+        assert s.acks[0].delivery_rate_bps == pytest.approx(1500 * 8 / 0.5)
+
+    def test_duplicate_ack_ignored(self):
+        s = RecordingSender()
+        p = make_packet(0)
+        s.register_send(p)
+        s.handle_ack(p, 0.1)
+        s.handle_ack(p, 0.2)  # spurious
+        assert len(s.acks) == 1
+        assert s.total_acked == 1
+
+    def test_can_send_respects_cwnd(self):
+        s = RecordingSender()
+        for i in range(10):
+            s.register_send(make_packet(i))
+        assert not s.can_send()
+
+
+class TestLossDetection:
+    def test_reorder_threshold(self):
+        s = RecordingSender()
+        for i in range(6):
+            s.register_send(make_packet(i))
+        # Ack seq 5: packets below 5 - 3 = 2 (i.e. 0 and 1) are lost.
+        p5 = s.inflight[5]
+        s.handle_ack(p5, 1.0)
+        assert s.losses == [0, 1]
+        assert s.total_lost == 2
+
+    def test_loss_fraction(self):
+        s = RecordingSender()
+        for i in range(6):
+            s.register_send(make_packet(i))
+        s.handle_ack(s.inflight[5], 1.0)
+        assert s.loss_fraction() == pytest.approx(2 / 3)
+
+    def test_timeout_flushes_inflight(self):
+        s = RecordingSender()
+        for i in range(4):
+            s.register_send(make_packet(i))
+        s.handle_timeout(2.0)
+        assert s.inflight_packets == 0
+        assert s.timeouts == 1
+        assert s.total_lost == 4
+
+
+class TestMisc:
+    def test_rto_floor(self):
+        s = RecordingSender()
+        assert s.rto_s() == 1.0
+        s.srtt_s = 0.5
+        assert s.rto_s() == pytest.approx(2.0)
+
+    def test_bdp(self):
+        s = RecordingSender()
+        # 12 Mbps x 40 ms = 60 kB = 40 packets of 1500 B.
+        assert s.bdp_packets(12e6, 0.040) == pytest.approx(40.0)
+
+    def test_ewma_helper(self):
+        assert ewma(None, 5.0, 0.5) == 5.0
+        assert ewma(4.0, 8.0, 0.25) == pytest.approx(5.0)

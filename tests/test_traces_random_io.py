@@ -1,0 +1,96 @@
+"""Tests for random traces and trace I/O (repro.traces.random_traces / io)."""
+
+import numpy as np
+import pytest
+
+from repro.traces.io import (
+    from_mahimahi_lines,
+    load_corpus,
+    save_corpus,
+    to_mahimahi_lines,
+)
+from repro.traces.random_traces import (
+    ABR_BW_RANGE_MBPS,
+    CC_BW_RANGE_MBPS,
+    CC_LATENCY_RANGE_MS,
+    CC_LOSS_RANGE,
+    random_abr_trace,
+    random_abr_traces,
+    random_cc_trace,
+    random_cc_traces,
+)
+
+
+class TestRandomAbrTraces:
+    def test_within_action_space(self):
+        t = random_abr_trace(np.random.default_rng(0))
+        assert np.all(t.bandwidths_mbps >= ABR_BW_RANGE_MBPS[0])
+        assert np.all(t.bandwidths_mbps <= ABR_BW_RANGE_MBPS[1])
+
+    def test_chunk_granularity(self):
+        t = random_abr_trace(np.random.default_rng(0), n_segments=48, step_seconds=4.0)
+        assert len(t) == 48
+        assert t.duration == pytest.approx(192.0)
+
+    def test_corpus_distinct_and_seeded(self):
+        a = random_abr_traces(5, seed=1)
+        b = random_abr_traces(5, seed=1)
+        assert not np.array_equal(a[0].bandwidths_mbps, a[1].bandwidths_mbps)
+        np.testing.assert_array_equal(a[2].bandwidths_mbps, b[2].bandwidths_mbps)
+
+
+class TestRandomCcTraces:
+    def test_within_table1_ranges(self):
+        t = random_cc_trace(np.random.default_rng(0), n_segments=200)
+        assert np.all(t.bandwidths_mbps >= CC_BW_RANGE_MBPS[0])
+        assert np.all(t.bandwidths_mbps <= CC_BW_RANGE_MBPS[1])
+        assert np.all(t.latencies_ms >= CC_LATENCY_RANGE_MS[0])
+        assert np.all(t.latencies_ms <= CC_LATENCY_RANGE_MS[1])
+        assert np.all(t.loss_rates >= CC_LOSS_RANGE[0])
+        assert np.all(t.loss_rates <= CC_LOSS_RANGE[1])
+
+    def test_30ms_granularity(self):
+        t = random_cc_trace(np.random.default_rng(0), n_segments=1000)
+        assert t.duration == pytest.approx(30.0)
+
+    def test_corpus_count(self):
+        assert len(random_cc_traces(3, n_segments=10)) == 3
+
+
+class TestCorpusIO:
+    def test_roundtrip(self, tmp_path):
+        traces = random_cc_traces(4, seed=0, n_segments=20)
+        path = tmp_path / "corpus.jsonl"
+        save_corpus(traces, path)
+        restored = load_corpus(path)
+        assert len(restored) == 4
+        for a, b in zip(traces, restored):
+            np.testing.assert_allclose(a.bandwidths_mbps, b.bandwidths_mbps)
+            np.testing.assert_allclose(a.loss_rates, b.loss_rates)
+            assert a.name == b.name
+
+
+class TestMahimahiFormat:
+    def test_constant_rate_packet_count(self):
+        from repro.traces.trace import Trace
+
+        # 12 Mbps for 1 second = 1000 packets of 12000 bits.
+        t = Trace.constant(12.0, 1.0)
+        lines = to_mahimahi_lines(t)
+        assert len(lines) == 1000
+        assert lines == sorted(lines)
+
+    def test_roundtrip_recovers_rate(self):
+        from repro.traces.trace import Trace
+
+        t = Trace.constant(6.0, 2.0)
+        restored = from_mahimahi_lines(to_mahimahi_lines(t), bin_ms=1000)
+        np.testing.assert_allclose(restored.bandwidths_mbps, 6.0, rtol=0.01)
+
+    def test_empty_schedule_raises(self):
+        with pytest.raises(ValueError):
+            from_mahimahi_lines([])
+
+    def test_unsorted_schedule_raises(self):
+        with pytest.raises(ValueError):
+            from_mahimahi_lines([5, 3])

@@ -1,0 +1,61 @@
+"""Tests for the synthetic dataset generators (repro.traces.synthetic)."""
+
+import numpy as np
+import pytest
+
+from repro.traces.synthetic import fcc_broadband_like, hsdpa_3g_like, make_dataset
+
+
+class TestGenerators:
+    def test_broadband_trace_shape(self):
+        t = fcc_broadband_like(np.random.default_rng(0), duration=100.0, step_seconds=1.0)
+        assert len(t) == 100
+        assert t.duration == pytest.approx(100.0)
+        assert np.all(t.bandwidths_mbps > 0)
+
+    def test_3g_trace_has_outage_capability(self):
+        # Over many traces, the 3G generator should visit deep fades.
+        rng = np.random.default_rng(1)
+        mins = [hsdpa_3g_like(rng).bandwidths_mbps.min() for _ in range(20)]
+        assert min(mins) < 0.2
+
+    def test_broadband_avoids_deep_outages(self):
+        rng = np.random.default_rng(2)
+        mins = [fcc_broadband_like(rng).bandwidths_mbps.min() for _ in range(20)]
+        assert min(mins) >= 0.2
+
+    def test_distribution_shift_broadband_vs_3g(self):
+        """The property Figure 4 relies on: broadband >> 3G in mean rate."""
+        broadband = make_dataset("broadband", 30, seed=0)
+        mobile = make_dataset("3g", 30, seed=0)
+        mean_bb = np.mean([t.mean_bandwidth() for t in broadband])
+        mean_3g = np.mean([t.mean_bandwidth() for t in mobile])
+        assert mean_bb > 1.5 * mean_3g
+
+    def test_3g_more_variable_than_broadband(self):
+        broadband = make_dataset("broadband", 30, seed=1)
+        mobile = make_dataset("3g", 30, seed=1)
+        cv = lambda t: np.std(t.bandwidths_mbps) / np.mean(t.bandwidths_mbps)
+        assert np.mean([cv(t) for t in mobile]) > np.mean([cv(t) for t in broadband])
+
+
+class TestMakeDataset:
+    def test_count_and_names(self):
+        traces = make_dataset("3g", 5, seed=3)
+        assert len(traces) == 5
+        assert len({t.name for t in traces}) == 5
+
+    def test_seeding_is_deterministic(self):
+        a = make_dataset("broadband", 3, seed=42)
+        b = make_dataset("broadband", 3, seed=42)
+        for ta, tb in zip(a, b):
+            np.testing.assert_array_equal(ta.bandwidths_mbps, tb.bandwidths_mbps)
+
+    def test_different_seeds_differ(self):
+        a = make_dataset("broadband", 1, seed=1)[0]
+        b = make_dataset("broadband", 1, seed=2)[0]
+        assert not np.array_equal(a.bandwidths_mbps, b.bandwidths_mbps)
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(ValueError):
+            make_dataset("5g", 1)

@@ -1,0 +1,56 @@
+"""Tiny environments used by the RL trainer tests."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.rl.env import Env
+from repro.rl.spaces import Box, Discrete
+
+
+class MatchParityEnv(Env):
+    """Reward 1 when the discrete action equals the observed bit."""
+
+    observation_space = Box([0.0], [1.0])
+    action_space = Discrete(2)
+
+    def __init__(self, episode_len: int = 16) -> None:
+        self.episode_len = episode_len
+        self._rng = np.random.default_rng(0)
+        self._t = 0
+        self._state = 0
+
+    def reset(self, *, seed: int | None = None) -> np.ndarray:
+        if seed is not None:
+            self._rng = np.random.default_rng(seed)
+        self._t = 0
+        self._state = int(self._rng.integers(2))
+        return np.array([float(self._state)])
+
+    def step(self, action):
+        reward = 1.0 if int(action) == self._state else 0.0
+        self._t += 1
+        self._state = int(self._rng.integers(2))
+        return np.array([float(self._state)]), reward, self._t >= self.episode_len, {}
+
+
+class TargetPointEnv(Env):
+    """Continuous control: reward = -|action - target|; constant obs."""
+
+    observation_space = Box([0.0], [1.0])
+    action_space = Box([-1.0], [1.0])
+
+    def __init__(self, target: float = 0.5, episode_len: int = 8) -> None:
+        self.target = target
+        self.episode_len = episode_len
+        self._t = 0
+
+    def reset(self, *, seed: int | None = None) -> np.ndarray:
+        self._t = 0
+        return np.array([0.5])
+
+    def step(self, action):
+        clipped = self.action_space.clip(action)
+        reward = -abs(float(np.ravel(clipped)[0]) - self.target)
+        self._t += 1
+        return np.array([0.5]), reward, self._t >= self.episode_len, {}
