@@ -1,0 +1,106 @@
+"""Benchmark: vectorized rollout collection throughput vs n_envs.
+
+Measures ``collect_rollout`` steps/sec of the ABR adversary PPO at
+``n_envs`` in {1, 4, 8, 16}.  ``n_envs == 1`` exercises the legacy
+single-env loop (the pre-vectorization baseline); larger counts go
+through :class:`~repro.rl.vec_env.SyncVecEnv` with the batched
+``r_opt`` solver.  On one core the speedup comes from amortizing the
+exhaustive-search plan table and the network forward across envs, so
+the curve saturates once those dominate.
+
+Run standalone (no pytest needed):
+
+    PYTHONPATH=src python benchmarks/bench_vec_rollout.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+from pathlib import Path
+
+from repro.abr.protocols import BufferBased
+from repro.abr.video import Video
+from repro.adversary.abr_env import AbrAdversaryEnv
+from repro.rl.ppo import PPO, PPOConfig
+from repro.rl.vec_env import SyncVecEnv
+
+N_ENVS_GRID = (1, 4, 8, 16)
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+def measure_steps_per_sec(
+    n_envs: int, steps_per_rollout: int, repeats: int, video: Video
+) -> float:
+    """Wall-clock env-steps/sec of collect_rollout at a given width."""
+    n_steps = max(steps_per_rollout // n_envs, 8)
+    cfg = PPOConfig(
+        n_steps=n_steps,
+        batch_size=n_steps * n_envs,
+        n_envs=n_envs,
+        init_log_std=-0.3,
+    )
+    env = AbrAdversaryEnv(BufferBased(), video)
+    if n_envs == 1:
+        trainer = PPO(env, cfg, seed=0)
+    else:
+        vec = SyncVecEnv([lambda: AbrAdversaryEnv(BufferBased(), video)] * n_envs)
+        trainer = PPO(vec, cfg, seed=0)
+    trainer.collect_rollout()  # warm up (obs-rms init, combo-table cache)
+    start = time.perf_counter()
+    for _ in range(repeats):
+        trainer.collect_rollout()
+    elapsed = time.perf_counter() - start
+    return n_steps * n_envs * repeats / elapsed
+
+
+def render_table(rows: list[tuple[int, float, float]]) -> str:
+    lines = [
+        "Vectorized rollout collection (ABR adversary vs BufferBased)",
+        "",
+        f"{'n_envs':>7} {'steps/sec':>12} {'speedup':>9}",
+    ]
+    for n_envs, rate, speedup in rows:
+        lines.append(f"{n_envs:>7} {rate:>12.0f} {speedup:>8.2f}x")
+    return "\n".join(lines) + "\n"
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="smoke-test sizes (CI): fewer steps and repeats",
+    )
+    args = parser.parse_args()
+    steps_per_rollout = 128 if args.quick else 512
+    repeats = 1 if args.quick else 3
+
+    video = Video.synthetic(n_chunks=48, seed=1)
+    rows: list[tuple[int, float, float]] = []
+    baseline = None
+    for n_envs in N_ENVS_GRID:
+        rate = measure_steps_per_sec(n_envs, steps_per_rollout, repeats, video)
+        if baseline is None:
+            baseline = rate
+        rows.append((n_envs, rate, rate / baseline))
+        print(f"n_envs={n_envs:<3d} {rate:>10.0f} steps/sec "
+              f"({rate / baseline:.2f}x)")
+
+    table = render_table(rows)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    out = RESULTS_DIR / "bench_vec_rollout.txt"
+    out.write_text(table)
+    print(f"\nwrote {out}")
+
+    # The acceptance bar for the vectorization work: >= 2x at n_envs=8.
+    # Timing jitter on a loaded CI box is real, so --quick only warns.
+    speedup8 = dict((n, s) for n, _, s in rows).get(8, 0.0)
+    if speedup8 < 2.0:
+        print(f"WARNING: n_envs=8 speedup {speedup8:.2f}x below 2x target")
+        if not args.quick:
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -25,7 +25,24 @@ from repro.abr.qoe import QoEWeights
 from repro.abr.simulator import BUFFER_CAP_S, LINK_RTT_S, PACKET_PAYLOAD_PORTION
 from repro.abr.video import Video
 
-__all__ = ["optimal_plan_dp", "optimal_qoe_exhaustive"]
+__all__ = ["optimal_plan_dp", "optimal_qoe_exhaustive", "optimal_qoe_exhaustive_batch"]
+
+#: Cached plan tables keyed by (n_bitrates, steps); building the
+#: ``n_bitrates ** steps`` product from scratch dominates a single
+#: exhaustive call, and the table is identical for every window of the
+#: same shape.
+_COMBO_CACHE: dict[tuple[int, int], np.ndarray] = {}
+
+
+def _combo_table(n_bitrates: int, steps: int) -> np.ndarray:
+    key = (n_bitrates, steps)
+    combos = _COMBO_CACHE.get(key)
+    if combos is None:
+        combos = np.array(
+            list(itertools.product(range(n_bitrates), repeat=steps)), dtype=int
+        )
+        _COMBO_CACHE[key] = combos
+    return combos
 
 
 def _download_times(
@@ -83,6 +100,73 @@ def optimal_qoe_exhaustive(
         prev = quality
     best = int(np.argmax(total))
     return float(total[best]), combos[best].tolist()
+
+
+def optimal_qoe_exhaustive_batch(
+    video: Video,
+    start_chunks,
+    bandwidth_windows,
+    start_buffers_s,
+    prev_qualities,
+    weights: QoEWeights = QoEWeights(),
+) -> np.ndarray:
+    """Exact max QoE for a *batch* of equal-length windows; returns ``(B,)``.
+
+    Vectorized across ``B`` independent windows (one per parallel env) on
+    top of the plan enumeration of :func:`optimal_qoe_exhaustive`, sharing
+    one cached plan table.  Each row b solves the same problem as::
+
+        optimal_qoe_exhaustive(video, start_chunks[b], bandwidth_windows[b],
+                               start_buffers_s[b], prev_qualities[b], weights)[0]
+
+    and produces the identical value, chunk for chunk and bit for bit --
+    only the enumeration runs once over a ``(B, plans)`` lattice instead
+    of B times over ``(plans,)``.  ``prev_qualities`` entries may be
+    ``None`` (no previous chunk, i.e. an episode's first window).
+    """
+    bandwidths = np.asarray(bandwidth_windows, dtype=float)
+    if bandwidths.ndim != 2:
+        raise ValueError("bandwidth_windows must be (batch, window)")
+    n_batch, steps = bandwidths.shape
+    if steps == 0:
+        raise ValueError("empty bandwidth window")
+    if steps > 8:
+        raise ValueError("exhaustive search limited to 8 chunks; use optimal_plan_dp")
+    rates = bandwidths * 1e6 / 8.0 * PACKET_PAYLOAD_PORTION
+    if np.any(rates <= 0):
+        raise ValueError("bandwidths must be positive")
+    sizes = np.stack(
+        [video.chunk_sizes_bytes[s : s + steps] for s in start_chunks]
+    )  # (B, steps, n_bitrates)
+    if sizes.shape[1] < steps:
+        raise ValueError("bandwidth schedule runs past the end of the video")
+    downloads = sizes / rates[:, :, None] + LINK_RTT_S
+    qualities = np.array([weights.quality(b) for b in video.bitrates_kbps])
+    combos = _combo_table(video.n_bitrates, steps)
+
+    n_plans = combos.shape[0]
+    start_buffers = np.asarray(start_buffers_s, dtype=float)
+    buffer = np.repeat(start_buffers[:, None], n_plans, axis=1)
+    total = np.zeros((n_batch, n_plans))
+    has_prev = np.array([q is not None for q in prev_qualities])
+    prev_vals = np.array(
+        [0.0 if q is None else qualities[q] for q in prev_qualities]
+    )
+    for k in range(steps):
+        download = downloads[:, k, :][:, combos[:, k]]
+        rebuffer = np.maximum(download - buffer, 0.0)
+        buffer = np.minimum(
+            np.maximum(buffer - download, 0.0) + video.chunk_seconds, BUFFER_CAP_S
+        )
+        quality = qualities[combos[:, k]]  # (n_plans,)
+        total += quality[None, :] - weights.rebuffer_penalty * rebuffer
+        if k == 0:
+            smooth = np.abs(quality[None, :] - prev_vals[:, None])
+            total -= weights.smooth_penalty * smooth * has_prev[:, None]
+        else:
+            prev_col = qualities[combos[:, k - 1]]
+            total -= weights.smooth_penalty * np.abs(quality - prev_col)[None, :]
+    return total.max(axis=1)
 
 
 def optimal_plan_dp(

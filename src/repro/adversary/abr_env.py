@@ -24,13 +24,17 @@ download time for the last downloaded video chunk", stacked over the last
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import copy
+from dataclasses import dataclass, replace
 from typing import Callable
 
 import numpy as np
 
 from repro.abr.protocols.base import AbrPolicy
-from repro.abr.protocols.optimal import optimal_qoe_exhaustive
+from repro.abr.protocols.optimal import (
+    optimal_qoe_exhaustive,
+    optimal_qoe_exhaustive_batch,
+)
 from repro.abr.qoe import QoEWeights
 from repro.abr.simulator import ControlledBandwidth, StreamingSession
 from repro.abr.video import Video
@@ -38,6 +42,7 @@ from repro.adversary.reward import AdversaryReward, LastActionSmoothing
 from repro.rl.env import Env
 from repro.rl.ppo import PPO, PPOConfig
 from repro.rl.spaces import Box
+from repro.rl.vec_env import SyncVecEnv
 
 __all__ = ["AbrAdversaryEnv", "AbrAdversaryResult", "train_abr_adversary"]
 
@@ -149,7 +154,15 @@ class AbrAdversaryEnv(Env):
         """Map a raw (possibly out-of-range) policy action to Mbps."""
         return float(self.bw_box.scale_from_unit(np.asarray(action, dtype=float))[0])
 
-    def step(self, action) -> tuple[np.ndarray, float, bool, dict]:
+    def _advance_world(self, action):
+        """Everything in one step *except* the r_opt search.
+
+        Returns the intermediates the reward needs: ``(bandwidth,
+        smoothing, quality, result, start)`` with ``start`` the first chunk
+        of the current r_opt window.  Split out so that
+        :meth:`batch_step` can run the expensive exhaustive search once
+        over a whole batch of envs.
+        """
         session = self._session
         if session is None:
             raise RuntimeError("call reset() before step()")
@@ -170,14 +183,12 @@ class AbrAdversaryEnv(Env):
 
         window = min(self.opt_window, len(self._chosen_bw))
         start = len(self._chosen_bw) - window
-        r_opt, _plan = optimal_qoe_exhaustive(
-            self.video,
-            start_chunk=start,
-            bandwidths_mbps=self._chosen_bw[start:],
-            start_buffer_s=self._buffer_before[start],
-            prev_quality=self._prev_quality_before[start],
-            weights=self.weights,
-        )
+        return bandwidth, smoothing, quality, result, start
+
+    def _finish_step(
+        self, bandwidth, smoothing, quality, result, start, r_opt
+    ) -> tuple[np.ndarray, float, bool, dict]:
+        """Assemble (obs, reward, done, info) once ``r_opt`` is known."""
         r_protocol = float(sum(self._protocol_qoe[start:]))
         if self.goal == "rebuffer":
             # Specific goal: cause stalls the optimum would have avoided.
@@ -193,7 +204,72 @@ class AbrAdversaryEnv(Env):
             "smoothing": smoothing,
             "rebuffer": result.rebuffer_seconds,
         }
-        return self._stacked(), reward, session.done, info
+        assert self._session is not None
+        return self._stacked(), reward, self._session.done, info
+
+    def step(self, action) -> tuple[np.ndarray, float, bool, dict]:
+        bandwidth, smoothing, quality, result, start = self._advance_world(action)
+        r_opt, _plan = optimal_qoe_exhaustive(
+            self.video,
+            start_chunk=start,
+            bandwidths_mbps=self._chosen_bw[start:],
+            start_buffer_s=self._buffer_before[start],
+            prev_quality=self._prev_quality_before[start],
+            weights=self.weights,
+        )
+        return self._finish_step(bandwidth, smoothing, quality, result, start, r_opt)
+
+    @staticmethod
+    def batch_step(envs, actions):
+        """Step a batch of :class:`AbrAdversaryEnv` in lockstep.
+
+        The :class:`~repro.rl.vec_env.SyncVecEnv` fast path: worlds advance
+        serially (cheap), then the exhaustive ``r_opt`` searches -- the
+        dominant per-step cost -- run as one vectorized
+        :func:`optimal_qoe_exhaustive_batch` call per distinct window
+        length.  Values are bitwise identical to per-env :meth:`step`.
+        """
+        pre = [env._advance_world(actions[i]) for i, env in enumerate(envs)]
+        r_opts: list[float | None] = [None] * len(envs)
+        # Group by (window length, video, weights); windows differ only in
+        # the first opt_window steps of an episode, so in steady state this
+        # is a single group.
+        groups: dict[tuple, list[int]] = {}
+        for i, (env, (_bw, _s, _q, _res, start)) in enumerate(zip(envs, pre)):
+            window = len(env._chosen_bw) - start
+            key = (window, id(env.video), id(env.weights))
+            groups.setdefault(key, []).append(i)
+        for (window, _vid, _w), idxs in groups.items():
+            if len(idxs) == 1:
+                i = idxs[0]
+                env, start = envs[i], pre[i][4]
+                r_opt, _plan = optimal_qoe_exhaustive(
+                    env.video,
+                    start_chunk=start,
+                    bandwidths_mbps=env._chosen_bw[start:],
+                    start_buffer_s=env._buffer_before[start],
+                    prev_quality=env._prev_quality_before[start],
+                    weights=env.weights,
+                )
+                r_opts[i] = r_opt
+                continue
+            first = envs[idxs[0]]
+            starts = [pre[i][4] for i in idxs]
+            values = optimal_qoe_exhaustive_batch(
+                first.video,
+                start_chunks=starts,
+                bandwidth_windows=[envs[i]._chosen_bw[s:] for i, s in zip(idxs, starts)],
+                start_buffers_s=[envs[i]._buffer_before[s] for i, s in zip(idxs, starts)],
+                prev_qualities=[
+                    envs[i]._prev_quality_before[s] for i, s in zip(idxs, starts)
+                ],
+                weights=first.weights,
+            )
+            for i, value in zip(idxs, values):
+                r_opts[i] = float(value)
+        return [
+            env._finish_step(*p, r_opts[i]) for i, (env, p) in enumerate(zip(envs, pre))
+        ]
 
     # -- conveniences -----------------------------------------------------------------
 
@@ -240,11 +316,35 @@ def train_abr_adversary(
     weights: QoEWeights = QoEWeights(),
     callback: Callable[[PPO, dict], None] | None = None,
     goal: str = "qoe_regret",
+    n_envs: int = 1,
 ) -> AbrAdversaryResult:
-    """Train an adversary against a frozen ABR protocol."""
-    env = AbrAdversaryEnv(
-        target, video, weights=weights, smoothing_weight=smoothing_weight, goal=goal
-    )
-    trainer = PPO(env, config or default_abr_adversary_config(), seed=seed)
+    """Train an adversary against a frozen ABR protocol.
+
+    ``n_envs > 1`` collects rollouts from that many parallel env copies
+    (each with its own copy of the frozen target, sharing the video) via
+    :class:`~repro.rl.vec_env.SyncVecEnv`; ``n_envs == 1`` is the exact
+    historical single-env path.  Either way the run is fully determined
+    by ``seed``.
+    """
+    cfg = config or default_abr_adversary_config()
+    if n_envs != 1:
+        cfg = replace(cfg, n_envs=n_envs)
+
+    def make_env() -> AbrAdversaryEnv:
+        return AbrAdversaryEnv(
+            copy.deepcopy(target), video, weights=weights,
+            smoothing_weight=smoothing_weight, goal=goal,
+        )
+
+    if cfg.n_envs == 1:
+        env = AbrAdversaryEnv(
+            target, video, weights=weights, smoothing_weight=smoothing_weight,
+            goal=goal,
+        )
+        trainer = PPO(env, cfg, seed=seed)
+    else:
+        vec = SyncVecEnv([make_env] * cfg.n_envs)
+        trainer = PPO(vec, cfg, seed=seed)
+        env = vec.envs[0]
     history = trainer.learn(total_steps, callback=callback)
     return AbrAdversaryResult(trainer=trainer, env=env, history=history)

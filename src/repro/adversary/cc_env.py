@@ -19,7 +19,7 @@ one hidden layer of 4 neurons" -- see :func:`default_cc_adversary_config`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Callable
 
 import numpy as np
@@ -31,6 +31,7 @@ from repro.cc.protocols.base import Sender
 from repro.rl.env import Env
 from repro.rl.ppo import PPO, PPOConfig
 from repro.rl.spaces import Box
+from repro.rl.vec_env import SyncVecEnv
 
 __all__ = [
     "CC_ACTION_RANGES",
@@ -197,20 +198,51 @@ def train_cc_adversary(
     smoothing_weight: float = 0.01,
     callback: Callable[[PPO, dict], None] | None = None,
     goal: str = "utilization",
+    n_envs: int = 1,
 ) -> CcAdversaryResult:
     """Train an adversary against a congestion-control protocol.
 
     The paper trains "for around 600k action/observation pairs of 30 ms
     each, split into 200 training iterations"; ``total_steps`` scales that
     down for laptop runs.
+
+    ``n_envs > 1`` collects rollouts from that many parallel emulators via
+    :class:`~repro.rl.vec_env.SyncVecEnv`.  Each env gets its own base
+    seed spawned from ``np.random.SeedSequence(seed)``, so the emulators'
+    loss processes are independent across envs yet the whole run is
+    reproducible from ``seed`` alone; ``n_envs == 1`` is the exact
+    historical single-env path.
     """
-    env = CcAdversaryEnv(
-        sender_factory,
-        episode_intervals=episode_intervals,
-        smoothing_weight=smoothing_weight,
-        seed=seed,
-        goal=goal,
-    )
-    trainer = PPO(env, config or default_cc_adversary_config(), seed=seed)
+    cfg = config or default_cc_adversary_config()
+    if n_envs != 1:
+        cfg = replace(cfg, n_envs=n_envs)
+
+    def make_env(env_seed: int) -> Callable[[], CcAdversaryEnv]:
+        def build() -> CcAdversaryEnv:
+            return CcAdversaryEnv(
+                sender_factory,
+                episode_intervals=episode_intervals,
+                smoothing_weight=smoothing_weight,
+                seed=env_seed,
+                goal=goal,
+            )
+
+        return build
+
+    if cfg.n_envs == 1:
+        env = CcAdversaryEnv(
+            sender_factory,
+            episode_intervals=episode_intervals,
+            smoothing_weight=smoothing_weight,
+            seed=seed,
+            goal=goal,
+        )
+        trainer = PPO(env, cfg, seed=seed)
+    else:
+        children = np.random.SeedSequence(seed).spawn(cfg.n_envs)
+        env_seeds = [int(c.generate_state(1)[0] % (2**31 - 1)) for c in children]
+        vec = SyncVecEnv([make_env(s) for s in env_seeds])
+        trainer = PPO(vec, cfg, seed=seed)
+        env = vec.envs[0]
     history = trainer.learn(total_steps, callback=callback)
     return CcAdversaryResult(trainer=trainer, env=env, history=history)

@@ -61,14 +61,20 @@ def rollout_abr_adversary(
     env: AbrAdversaryEnv,
     deterministic: bool = False,
     name: str = "adv-abr",
+    rng: np.random.Generator | None = None,
 ) -> AbrRollout:
-    """Run one adversary episode; record the bandwidth trace it produced."""
+    """Run one adversary episode; record the bandwidth trace it produced.
+
+    ``rng`` supplies the exploration noise of stochastic rollouts; leaving
+    it ``None`` draws from the trainer's own generator (the historical
+    behaviour, which depends on how much of that stream training consumed).
+    """
     obs = env.reset()
     total = 0.0
     qualities: list[int] = []
     done = False
     while not done:
-        action = trainer.predict(obs, deterministic=deterministic)
+        action = trainer.predict(obs, deterministic=deterministic, rng=rng)
         obs, reward, done, info = env.step(action)
         total += reward
         qualities.append(info["quality"])
@@ -92,16 +98,33 @@ def generate_abr_traces(
     n_traces: int,
     deterministic: bool = False,
     name_prefix: str = "adv-abr",
+    seed: int | None = None,
 ) -> list[AbrRollout]:
-    """Produce a corpus of adversarial traces (the paper generates 200)."""
+    """Produce a corpus of adversarial traces (the paper generates 200).
+
+    With ``seed`` set, each rollout samples its exploration noise from its
+    own generator spawned via ``np.random.SeedSequence(seed)``, so trace i
+    of the corpus is reproducible independently of the trainer's internal
+    generator state and of the other traces.
+    """
     if n_traces <= 0:
         raise ValueError("n_traces must be positive")
+    rngs = _spawn_rngs(seed, n_traces)
     return [
         rollout_abr_adversary(
-            trainer, env, deterministic=deterministic, name=f"{name_prefix}-{i:03d}"
+            trainer, env, deterministic=deterministic,
+            name=f"{name_prefix}-{i:03d}", rng=rngs[i],
         )
         for i in range(n_traces)
     ]
+
+
+def _spawn_rngs(
+    seed: int | None, n: int
+) -> list[np.random.Generator] | list[None]:
+    if seed is None:
+        return [None] * n
+    return [np.random.default_rng(c) for c in np.random.SeedSequence(seed).spawn(n)]
 
 
 def rollout_cc_adversary(
@@ -109,13 +132,18 @@ def rollout_cc_adversary(
     env: CcAdversaryEnv,
     deterministic: bool = False,
     name: str = "adv-cc",
+    rng: np.random.Generator | None = None,
 ) -> CcRollout:
-    """Run one adversary episode against a congestion-control sender."""
+    """Run one adversary episode against a congestion-control sender.
+
+    ``rng`` supplies the exploration noise of stochastic rollouts (see
+    :func:`rollout_abr_adversary`).
+    """
     obs = env.reset()
     total = 0.0
     done = False
     while not done:
-        action = trainer.predict(obs, deterministic=deterministic)
+        action = trainer.predict(obs, deterministic=deterministic, rng=rng)
         obs, reward, done, _info = env.step(action)
         total += reward
     conditions = np.asarray(env.condition_log)
@@ -147,13 +175,20 @@ def generate_cc_traces(
     n_traces: int,
     deterministic: bool = False,
     name_prefix: str = "adv-cc",
+    seed: int | None = None,
 ) -> list[CcRollout]:
-    """Produce a corpus of adversarial congestion-control traces."""
+    """Produce a corpus of adversarial congestion-control traces.
+
+    ``seed`` makes each trace independently reproducible; see
+    :func:`generate_abr_traces`.
+    """
     if n_traces <= 0:
         raise ValueError("n_traces must be positive")
+    rngs = _spawn_rngs(seed, n_traces)
     return [
         rollout_cc_adversary(
-            trainer, env, deterministic=deterministic, name=f"{name_prefix}-{i:03d}"
+            trainer, env, deterministic=deterministic,
+            name=f"{name_prefix}-{i:03d}", rng=rngs[i],
         )
         for i in range(n_traces)
     ]

@@ -152,12 +152,20 @@ def run_robustness_experiment(
     seed: int = 0,
     pensieve_config: PPOConfig | None = None,
     adversary_config: PPOConfig | None = None,
+    n_envs: int = 1,
+    trace_seed: int | None = None,
 ) -> RobustnessExperiment:
     """The Figure 4 pipeline with a shared training prefix.
 
     Trains one Pensieve along the original corpus, snapshotting at each
     switch fraction; each snapshot forks into an adversarially augmented
     continuation, while the main line finishes unmodified ("Without Adv.").
+
+    ``n_envs`` parallelizes the adversary trainings' rollout collection
+    (see :func:`~repro.adversary.abr_env.train_abr_adversary`); setting
+    ``trace_seed`` makes each generated adversarial trace independently
+    reproducible instead of depending on the adversary trainer's leftover
+    generator state.
     """
     fractions = sorted(switch_fractions)
     if any(not 0.0 < f < 1.0 for f in fractions):
@@ -193,9 +201,12 @@ def run_robustness_experiment(
         frozen = copy.deepcopy(snapshot.agent)
         adversary = train_abr_adversary(
             frozen, video, total_steps=adversary_steps, seed=seed + 17,
-            config=copy.deepcopy(adversary_config),
+            config=copy.deepcopy(adversary_config), n_envs=n_envs,
         )
-        rolls = generate_abr_traces(adversary.trainer, adversary.env, n_adversarial_traces)
+        rolls = generate_abr_traces(
+            adversary.trainer, adversary.env, n_adversarial_traces,
+            seed=trace_seed,
+        )
         robust = continue_training(
             snapshot,
             total_steps - int(total_steps * frac),

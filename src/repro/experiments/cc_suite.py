@@ -42,11 +42,27 @@ def run_bbr_adversarial_experiment(
     n_online: int = 5,
     n_replay: int = 5,
     replay_seed: int = 1000,
+    rollout_seed: int | None = None,
 ) -> BbrAdversarialExperiment:
-    """Roll out a trained CC adversary and quantify BBR's degradation."""
+    """Roll out a trained CC adversary and quantify BBR's degradation.
+
+    ``rollout_seed`` gives every online rollout its own generator spawned
+    from one ``np.random.SeedSequence``, making the Figure 5/6 series
+    reproducible regardless of the trainer's leftover generator state.
+    """
+    n_rollouts = max(n_online, n_replay)
+    if rollout_seed is None:
+        rngs = [None] * n_rollouts
+    else:
+        rngs = [
+            np.random.default_rng(c)
+            for c in np.random.SeedSequence(rollout_seed).spawn(n_rollouts)
+        ]
     online = [
-        rollout_cc_adversary(trainer, env, deterministic=False, name=f"adv-cc-{i}")
-        for i in range(max(n_online, n_replay))
+        rollout_cc_adversary(
+            trainer, env, deterministic=False, name=f"adv-cc-{i}", rng=rngs[i]
+        )
+        for i in range(n_rollouts)
     ]
     fractions = [r.capacity_fraction for r in online[:n_online]]
     replayed = [

@@ -8,7 +8,8 @@ Replaces the OpenAI Gym / stable-baselines stack the paper relied on:
 - :mod:`repro.rl.policy` -- actor-critic policies over MLPs,
 - :mod:`repro.rl.ppo` -- Proximal Policy Optimization (clipped surrogate),
 - :mod:`repro.rl.reinforce` -- REINFORCE-with-baseline (trainer ablation),
-- :mod:`repro.rl.running_stat` -- online observation normalization.
+- :mod:`repro.rl.running_stat` -- online observation normalization,
+- :mod:`repro.rl.vec_env` -- synchronous vectorized envs for batched rollouts.
 """
 
 from repro.rl.buffer import RolloutBuffer
@@ -18,6 +19,7 @@ from repro.rl.ppo import PPO, PPOConfig
 from repro.rl.reinforce import Reinforce, ReinforceConfig
 from repro.rl.running_stat import RunningMeanStd
 from repro.rl.spaces import Box, Discrete
+from repro.rl.vec_env import SyncVecEnv, make_vec_env
 
 __all__ = [
     "ActorCritic",
@@ -30,4 +32,6 @@ __all__ = [
     "ReinforceConfig",
     "RolloutBuffer",
     "RunningMeanStd",
+    "SyncVecEnv",
+    "make_vec_env",
 ]

@@ -1,12 +1,33 @@
-"""Rollout storage and Generalized Advantage Estimation."""
+"""Rollout storage and Generalized Advantage Estimation.
+
+The buffer stores ``(n_steps, n_envs)`` transitions.  With ``n_envs == 1``
+(the default) every array keeps the historical flat layout -- shape
+``(capacity, ...)`` -- and the scalar :meth:`add` / :meth:`compute_gae`
+paths are bit-for-bit the original single-env implementation, so existing
+single-env training runs are unchanged.  With ``n_envs > 1`` arrays gain
+an env axis -- ``(capacity, n_envs, ...)`` -- transitions arrive through
+:meth:`add_batch`, GAE runs one vectorized backward sweep over all envs,
+and :meth:`flattened` exposes ``(n_steps * n_envs, ...)`` views for the
+minibatch update.
+"""
 
 from __future__ import annotations
 
-from typing import Iterator
+from typing import Iterator, NamedTuple
 
 import numpy as np
 
 __all__ = ["RolloutBuffer"]
+
+
+class FlatRollout(NamedTuple):
+    """Flattened ``(n_steps * n_envs, ...)`` views over a filled buffer."""
+
+    obs: np.ndarray
+    actions: np.ndarray
+    log_probs: np.ndarray
+    advantages: np.ndarray
+    returns: np.ndarray
 
 
 class RolloutBuffer:
@@ -16,29 +37,52 @@ class RolloutBuffer:
     GAE(lambda) advantages and discounted returns in a single backward
     sweep (Schulman et al. 2016).  ``dones`` mark episode boundaries so
     that advantages never bootstrap across resets.
+
+    ``capacity`` counts *time steps*; each step holds one transition per
+    env, so a full buffer contains ``capacity * n_envs`` transitions.
     """
 
-    def __init__(self, capacity: int, obs_dim: int, act_dim: int, discrete: bool) -> None:
+    def __init__(
+        self,
+        capacity: int,
+        obs_dim: int,
+        act_dim: int,
+        discrete: bool,
+        n_envs: int = 1,
+    ) -> None:
         if capacity <= 0:
             raise ValueError(f"capacity must be positive, got {capacity}")
+        if n_envs <= 0:
+            raise ValueError(f"n_envs must be positive, got {n_envs}")
         self.capacity = capacity
         self.discrete = discrete
-        self.obs = np.zeros((capacity, obs_dim))
+        self.n_envs = n_envs
+        self.obs_dim = obs_dim
+        self.act_dim = act_dim
+        # n_envs == 1 keeps the legacy flat layout; n_envs > 1 adds an
+        # env axis after time.
+        lead = (capacity,) if n_envs == 1 else (capacity, n_envs)
+        self.obs = np.zeros(lead + (obs_dim,))
         if discrete:
-            self.actions = np.zeros(capacity, dtype=int)
+            self.actions = np.zeros(lead, dtype=int)
         else:
-            self.actions = np.zeros((capacity, act_dim))
-        self.rewards = np.zeros(capacity)
-        self.dones = np.zeros(capacity, dtype=bool)
-        self.values = np.zeros(capacity)
-        self.log_probs = np.zeros(capacity)
-        self.advantages = np.zeros(capacity)
-        self.returns = np.zeros(capacity)
+            self.actions = np.zeros(lead + (act_dim,))
+        self.rewards = np.zeros(lead)
+        self.dones = np.zeros(lead, dtype=bool)
+        self.values = np.zeros(lead)
+        self.log_probs = np.zeros(lead)
+        self.advantages = np.zeros(lead)
+        self.returns = np.zeros(lead)
         self.pos = 0
 
     @property
     def full(self) -> bool:
         return self.pos >= self.capacity
+
+    @property
+    def size(self) -> int:
+        """Number of stored transitions across all envs."""
+        return self.pos * self.n_envs
 
     def add(
         self,
@@ -49,6 +93,9 @@ class RolloutBuffer:
         value: float,
         log_prob: float,
     ) -> None:
+        """Store one single-env transition (requires ``n_envs == 1``)."""
+        if self.n_envs != 1:
+            raise RuntimeError("add() is single-env only; use add_batch()")
         if self.full:
             raise RuntimeError("buffer is full; call reset() first")
         i = self.pos
@@ -60,18 +107,64 @@ class RolloutBuffer:
         self.log_probs[i] = log_prob
         self.pos += 1
 
+    def add_batch(
+        self,
+        obs: np.ndarray,
+        actions: np.ndarray,
+        rewards: np.ndarray,
+        dones: np.ndarray,
+        values: np.ndarray,
+        log_probs: np.ndarray,
+    ) -> None:
+        """Store one time step of transitions for every env.
+
+        ``obs`` is ``(n_envs, obs_dim)``; the rest are ``(n_envs,)``
+        (actions ``(n_envs, act_dim)`` for continuous spaces).
+        """
+        if self.full:
+            raise RuntimeError("buffer is full; call reset() first")
+        i = self.pos
+        if self.n_envs == 1:
+            self.obs[i] = np.asarray(obs).reshape(self.obs_dim)
+            if self.discrete:
+                self.actions[i] = int(np.asarray(actions).reshape(()))
+            else:
+                self.actions[i] = np.asarray(actions).reshape(-1)
+            self.rewards[i] = np.asarray(rewards).reshape(())
+            self.dones[i] = bool(np.asarray(dones).reshape(()))
+            self.values[i] = np.asarray(values).reshape(())
+            self.log_probs[i] = np.asarray(log_probs).reshape(())
+        else:
+            self.obs[i] = obs
+            self.actions[i] = actions
+            self.rewards[i] = rewards
+            self.dones[i] = dones
+            self.values[i] = values
+            self.log_probs[i] = log_probs
+        self.pos += 1
+
     def reset(self) -> None:
         self.pos = 0
 
-    def compute_gae(self, last_value: float, gamma: float, lam: float) -> None:
+    def compute_gae(self, last_value, gamma: float, lam: float) -> None:
         """Fill :attr:`advantages` and :attr:`returns` for the stored slice.
 
         ``last_value`` bootstraps the value of the state following the final
-        stored transition (zero if that transition ended an episode).
+        stored transition (zero if that transition ended an episode): a
+        scalar for ``n_envs == 1``, else an ``(n_envs,)`` array.
         """
         n = self.pos
         if n == 0:
             raise RuntimeError("cannot compute GAE on an empty buffer")
+        if self.n_envs == 1:
+            self._compute_gae_single(
+                float(np.asarray(last_value).reshape(-1)[0]), gamma, lam
+            )
+        else:
+            self._compute_gae_vec(last_value, gamma, lam)
+
+    def _compute_gae_single(self, last_value: float, gamma: float, lam: float) -> None:
+        n = self.pos
         adv = 0.0
         for t in reversed(range(n)):
             if t == n - 1:
@@ -84,28 +177,74 @@ class RolloutBuffer:
             self.advantages[t] = adv
         self.returns[:n] = self.advantages[:n] + self.values[:n]
 
+    def _compute_gae_vec(self, last_values, gamma: float, lam: float) -> None:
+        n = self.pos
+        last = np.asarray(last_values, dtype=float).reshape(self.n_envs)
+        adv = np.zeros(self.n_envs)
+        for t in reversed(range(n)):
+            next_values = last if t == n - 1 else self.values[t + 1]
+            non_terminal = 1.0 - self.dones[t].astype(float)
+            delta = self.rewards[t] + gamma * next_values * non_terminal - self.values[t]
+            adv = delta + gamma * lam * non_terminal * adv
+            self.advantages[t] = adv
+        self.returns[:n] = self.advantages[:n] + self.values[:n]
+
+    def flattened(self) -> FlatRollout:
+        """Views of the filled slice, flattened to ``(pos * n_envs, ...)``.
+
+        Ordering is time-major (all envs of step 0, then step 1, ...); for
+        ``n_envs == 1`` these are exactly the legacy per-step arrays.
+        """
+        n = self.pos
+        if self.n_envs == 1:
+            return FlatRollout(
+                self.obs[:n], self.actions[:n], self.log_probs[:n],
+                self.advantages[:n], self.returns[:n],
+            )
+        return FlatRollout(
+            self.obs[:n].reshape(-1, self.obs_dim),
+            self.actions[:n].reshape(-1)
+            if self.discrete
+            else self.actions[:n].reshape(-1, self.act_dim),
+            self.log_probs[:n].reshape(-1),
+            self.advantages[:n].reshape(-1),
+            self.returns[:n].reshape(-1),
+        )
+
     def minibatches(
         self, batch_size: int, rng: np.random.Generator
     ) -> Iterator[np.ndarray]:
-        """Yield shuffled index arrays covering the filled portion."""
-        idx = rng.permutation(self.pos)
-        for start in range(0, self.pos, batch_size):
+        """Yield shuffled flat index arrays covering all stored transitions."""
+        idx = rng.permutation(self.size)
+        for start in range(0, self.size, batch_size):
             yield idx[start : start + batch_size]
 
     def mean_episode_reward(self) -> float:
         """Mean total reward of *completed* episodes in the buffer.
 
-        Falls back to the sum over the whole buffer when no episode
-        boundary was recorded.
+        Falls back to the per-env total reward when no episode boundary
+        was recorded.
         """
         n = self.pos
-        totals: list[float] = []
-        acc = 0.0
-        for t in range(n):
-            acc += self.rewards[t]
-            if self.dones[t]:
-                totals.append(acc)
-                acc = 0.0
+        if self.n_envs == 1:
+            totals: list[float] = []
+            acc = 0.0
+            for t in range(n):
+                acc += self.rewards[t]
+                if self.dones[t]:
+                    totals.append(acc)
+                    acc = 0.0
+            if not totals:
+                return float(self.rewards[:n].sum())
+            return float(np.mean(totals))
+        totals = []
+        for e in range(self.n_envs):
+            acc = 0.0
+            for t in range(n):
+                acc += self.rewards[t, e]
+                if self.dones[t, e]:
+                    totals.append(acc)
+                    acc = 0.0
         if not totals:
-            return float(self.rewards[:n].sum())
+            return float(self.rewards[:n].sum(axis=0).mean())
         return float(np.mean(totals))

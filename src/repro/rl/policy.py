@@ -89,6 +89,27 @@ class ActorCritic:
             return int(action[0]), log_prob, value
         return action[0], log_prob, value
 
+    def act_batch(
+        self, obs: np.ndarray, rng: np.random.Generator, deterministic: bool = False
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Select one action per row of a stacked observation batch.
+
+        Returns ``(actions, log_probs, values)`` with leading dimension
+        ``n``; actions are ``(n,)`` ints for discrete spaces and ``(n, d)``
+        unclipped floats for boxes.  On a single-row batch this performs
+        exactly the same forward pass and random draws as :meth:`act`, so
+        a vectorized rollout of one env is bitwise identical to the
+        scalar loop.
+        """
+        obs = np.atleast_2d(np.asarray(obs, dtype=float))
+        dist = self.distribution(obs)
+        actions = dist.mode() if deterministic else dist.sample(rng)
+        log_probs = dist.log_prob(actions)
+        values = self.value(obs)
+        if self.discrete:
+            return np.asarray(actions, dtype=int), log_probs, values
+        return actions, log_probs, values
+
     # -- gradients ---------------------------------------------------------
 
     def zero_grad(self) -> None:

@@ -23,6 +23,7 @@ from repro.rl.env import Env
 from repro.rl.policy import ActorCritic
 from repro.rl.running_stat import RunningMeanStd
 from repro.rl.spaces import Box
+from repro.rl.vec_env import SyncVecEnv, make_vec_env
 
 __all__ = ["PPO", "PPOConfig"]
 
@@ -34,6 +35,11 @@ class PPOConfig:
     n_steps: int = 256
     batch_size: int = 64
     n_epochs: int = 4
+    #: Number of parallel environments per rollout.  ``n_envs == 1`` is the
+    #: exact historical single-env path; ``n_envs > 1`` collects via a
+    #: :class:`~repro.rl.vec_env.SyncVecEnv` with one batched forward pass
+    #: per time step.
+    n_envs: int = 1
     gamma: float = 0.99
     gae_lambda: float = 0.95
     clip_range: float = 0.2
@@ -51,14 +57,26 @@ class PPOConfig:
     def validate(self) -> None:
         if self.n_steps <= 0:
             raise ValueError("n_steps must be positive")
+        if self.n_envs <= 0:
+            raise ValueError("n_envs must be positive")
         if not 0.0 < self.gamma <= 1.0:
             raise ValueError("gamma must be in (0, 1]")
         if not 0.0 <= self.gae_lambda <= 1.0:
             raise ValueError("gae_lambda must be in [0, 1]")
         if self.clip_range <= 0.0:
             raise ValueError("clip_range must be positive")
-        if self.batch_size <= 0 or self.batch_size > self.n_steps:
-            raise ValueError("batch_size must be in (0, n_steps]")
+        rollout = self.n_steps * self.n_envs
+        if self.batch_size <= 0 or self.batch_size > rollout:
+            raise ValueError("batch_size must be in (0, n_steps * n_envs]")
+        # Every epoch must split the rollout into equal minibatches;
+        # a ragged final batch would silently change the effective
+        # per-sample learning rate (the gradient is averaged over the
+        # minibatch) and break run-to-run comparability across n_envs.
+        if rollout % self.batch_size != 0:
+            raise ValueError(
+                f"batch_size ({self.batch_size}) must divide "
+                f"n_steps * n_envs ({rollout})"
+            )
 
 
 class PPO:
@@ -80,19 +98,34 @@ class PPO:
 
     def __init__(
         self,
-        env: Env,
+        env: Env | SyncVecEnv,
         config: PPOConfig | None = None,
         seed: int = 0,
         policy: ActorCritic | None = None,
     ) -> None:
-        self.env = env
         self.cfg = config if config is not None else PPOConfig()
+        if isinstance(env, SyncVecEnv):
+            if self.cfg.n_envs not in (1, env.n_envs):
+                raise ValueError(
+                    f"config.n_envs={self.cfg.n_envs} does not match the "
+                    f"given SyncVecEnv of {env.n_envs} envs"
+                )
+            self.cfg.n_envs = env.n_envs
+            self.vec_env: SyncVecEnv | None = env
+            self.env = env.envs[0]
+        elif self.cfg.n_envs > 1:
+            self.vec_env = make_vec_env(env, self.cfg.n_envs)
+            self.env = env
+        else:
+            self.vec_env = None
+            self.env = env
         self.cfg.validate()
         self.rng = np.random.default_rng(seed)
-        obs_dim = env.observation_space.dim if isinstance(env.observation_space, Box) else 1
+        obs_space = self.env.observation_space
+        obs_dim = obs_space.dim if isinstance(obs_space, Box) else 1
         self.policy = policy if policy is not None else ActorCritic(
             obs_dim,
-            env.action_space,
+            self.env.action_space,
             hidden=self.cfg.hidden,
             activation=self.cfg.activation,
             rng=self.rng,
@@ -100,7 +133,8 @@ class PPO:
         )
         act_dim = 1 if self.policy.discrete else self.policy.action_space.dim
         self.buffer = RolloutBuffer(
-            self.cfg.n_steps, self.policy.obs_dim, act_dim, self.policy.discrete
+            self.cfg.n_steps, self.policy.obs_dim, act_dim, self.policy.discrete,
+            n_envs=self.cfg.n_envs,
         )
         self.optimizer = Adam(self.policy.parameters(), lr=self.cfg.learning_rate)
         self.obs_rms = RunningMeanStd((self.policy.obs_dim,))
@@ -115,8 +149,19 @@ class PPO:
             return self.obs_rms.normalize(obs)
         return np.asarray(obs, dtype=float)
 
-    def collect_rollout(self) -> float:
-        """Fill the buffer with ``n_steps`` transitions; return the last value."""
+    def collect_rollout(self) -> float | np.ndarray:
+        """Fill the buffer with ``n_steps`` transitions per env.
+
+        Returns the bootstrap value(s) of the state(s) following the final
+        stored transition: a float on the single-env path, an ``(n_envs,)``
+        array on the vectorized path.
+        """
+        if self.vec_env is None:
+            return self._collect_rollout_single()
+        return self._collect_rollout_vec()
+
+    def _collect_rollout_single(self) -> float:
+        """The historical scalar loop: one env, one forward pass per step."""
         if self._obs is None:
             self._obs = self.env.reset(seed=int(self.rng.integers(2**31 - 1)))
         self.buffer.reset()
@@ -138,23 +183,49 @@ class PPO:
             self.obs_rms.update(raw_batch)
         return last_value
 
+    def _collect_rollout_vec(self) -> np.ndarray:
+        """Batched rollout: all envs advance together, one stacked forward
+        pass per time step.  With one env this performs the same operations
+        and random draws as :meth:`_collect_rollout_single`, bit for bit."""
+        vec = self.vec_env
+        assert vec is not None
+        n_envs = vec.n_envs
+        if self._obs is None:
+            self._obs = vec.reset(seed=int(self.rng.integers(2**31 - 1)))
+        self.buffer.reset()
+        raw_batch = np.zeros((self.cfg.n_steps, n_envs, self.policy.obs_dim))
+        dones = np.zeros(n_envs, dtype=bool)
+        for t in range(self.cfg.n_steps):
+            raw_batch[t] = self._obs
+            norm_obs = self._normalize(self._obs)
+            actions, log_probs, values = self.policy.act_batch(norm_obs, self.rng)
+            next_obs, rewards, dones, _infos = vec.step(actions)
+            self.buffer.add_batch(norm_obs, actions, rewards, dones, values, log_probs)
+            self._obs = next_obs
+            self.total_steps += n_envs
+        last_values = self.policy.value(np.atleast_2d(self._normalize(self._obs)))
+        last_values = np.where(dones, 0.0, last_values)
+        if self.cfg.normalize_obs:
+            self.obs_rms.update(raw_batch.reshape(-1, self.policy.obs_dim))
+        return last_values
+
     # -- update --------------------------------------------------------------
 
     def update(self) -> dict:
         """Run the clipped-surrogate update over the stored rollout."""
         cfg = self.cfg
         buf = self.buffer
-        n = buf.pos
+        flat = buf.flattened()
         stats = {"pi_loss": 0.0, "v_loss": 0.0, "entropy": 0.0, "approx_kl": 0.0}
         n_updates = 0
         early_stop = False
         for _epoch in range(cfg.n_epochs):
             for idx in buf.minibatches(cfg.batch_size, self.rng):
-                mb_obs = buf.obs[idx]
-                mb_actions = buf.actions[idx]
-                mb_old_logp = buf.log_probs[idx]
-                mb_returns = buf.returns[idx]
-                adv = buf.advantages[idx]
+                mb_obs = flat.obs[idx]
+                mb_actions = flat.actions[idx]
+                mb_old_logp = flat.log_probs[idx]
+                mb_returns = flat.returns[idx]
+                adv = flat.advantages[idx]
                 if cfg.normalize_adv and len(idx) > 1:
                     adv = (adv - adv.mean()) / (adv.std() + 1e-8)
                 m = len(idx)
@@ -194,8 +265,8 @@ class PPO:
                 stats["approx_kl"] += float(np.mean(mb_old_logp - logp))
                 n_updates += 1
             if cfg.target_kl is not None:
-                dist = self.policy.distribution(buf.obs[:n])
-                kl = float(np.mean(buf.log_probs[:n] - dist.log_prob(buf.actions[:n])))
+                dist = self.policy.distribution(flat.obs)
+                kl = float(np.mean(flat.log_probs - dist.log_prob(flat.actions)))
                 if kl > 1.5 * cfg.target_kl:
                     early_stop = True
                     break
@@ -228,10 +299,22 @@ class PPO:
 
     # -- deterministic acting and persistence ---------------------------------
 
-    def predict(self, obs: np.ndarray, deterministic: bool = True):
-        """Map an observation to an action using current (normalized) stats."""
+    def predict(
+        self,
+        obs: np.ndarray,
+        deterministic: bool = True,
+        rng: np.random.Generator | None = None,
+    ):
+        """Map an observation to an action using current (normalized) stats.
+
+        ``rng`` overrides the trainer's generator for the exploration
+        noise of stochastic predictions, letting callers (e.g. adversarial
+        trace generation) make each rollout reproducible from its own
+        seed regardless of how much the shared generator was consumed.
+        """
         action, _logp, _value = self.policy.act(
-            self._normalize(obs), self.rng, deterministic=deterministic
+            self._normalize(obs), rng if rng is not None else self.rng,
+            deterministic=deterministic,
         )
         return action
 

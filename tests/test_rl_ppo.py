@@ -21,11 +21,28 @@ class TestPPOConfig:
             {"clip_range": 0.0},
             {"batch_size": 0},
             {"batch_size": 999, "n_steps": 100},
+            {"n_envs": 0},
+            {"n_envs": -1},
+            # batch_size must divide n_steps * n_envs: ragged trailing
+            # minibatches would change the effective per-sample step size.
+            {"n_steps": 100, "batch_size": 48},
+            {"n_steps": 50, "n_envs": 2, "batch_size": 48},
         ],
     )
     def test_invalid_configs_raise(self, kwargs):
         with pytest.raises(ValueError):
             PPOConfig(**kwargs).validate()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_steps": 50, "n_envs": 2, "batch_size": 100},
+            {"n_steps": 50, "n_envs": 2, "batch_size": 25},
+            {"n_steps": 64, "n_envs": 4, "batch_size": 64},
+        ],
+    )
+    def test_vectorized_configs_valid(self, kwargs):
+        PPOConfig(**kwargs).validate()
 
 
 class TestPPOTraining:
