@@ -49,6 +49,9 @@ class MPC(AbrPolicy):
         self.weights = weights
         self._video: Video | None = None
         self._combos: dict[int, np.ndarray] = {}
+        #: What the cached plan tables were built for, so a reset with a
+        #: video of a different bitrate count rebuilds them.
+        self._combos_key: tuple[int, int] | None = None
         self._errors: list[float] = []
         self._last_prediction: float | None = None
 
@@ -56,11 +59,13 @@ class MPC(AbrPolicy):
         self._video = video
         self._errors = []
         self._last_prediction = None
-        if video.n_bitrates not in [c.shape[1] if c.size else 0 for c in self._combos.values()]:
+        key = (video.n_bitrates, self.horizon)
+        if self._combos_key != key:
             self._combos = {
                 h: np.array(list(itertools.product(range(video.n_bitrates), repeat=h)), dtype=int)
                 for h in range(1, self.horizon + 1)
             }
+            self._combos_key = key
 
     # -- prediction -----------------------------------------------------------
 

@@ -42,7 +42,7 @@ from repro.adversary.reward import AdversaryReward, LastActionSmoothing
 from repro.rl.env import Env
 from repro.rl.ppo import PPO, PPOConfig
 from repro.rl.spaces import Box
-from repro.rl.vec_env import SyncVecEnv
+from repro.rl.vec_env import SubprocVecEnv, SyncVecEnv, VecEnv
 
 __all__ = ["AbrAdversaryEnv", "AbrAdversaryResult", "train_abr_adversary"]
 
@@ -317,18 +317,23 @@ def train_abr_adversary(
     callback: Callable[[PPO, dict], None] | None = None,
     goal: str = "qoe_regret",
     n_envs: int = 1,
+    vec_backend: str = "sync",
 ) -> AbrAdversaryResult:
     """Train an adversary against a frozen ABR protocol.
 
     ``n_envs > 1`` collects rollouts from that many parallel env copies
-    (each with its own copy of the frozen target, sharing the video) via
-    :class:`~repro.rl.vec_env.SyncVecEnv`; ``n_envs == 1`` is the exact
-    historical single-env path.  Either way the run is fully determined
-    by ``seed``.
+    (each with its own copy of the frozen target, sharing the video);
+    ``n_envs == 1`` is the exact historical single-env path.  Either way
+    the run is fully determined by ``seed``.  ``vec_backend`` picks the
+    collection backend: ``"sync"`` (default) steps the copies in-process
+    and exploits the batched ``r_opt`` solver -- usually the faster choice
+    here -- while ``"subproc"`` gives each copy a worker process and
+    produces the same rollouts; its workers are shut down when training
+    completes, and the returned ``env`` is a fresh local instance.
     """
     cfg = config or default_abr_adversary_config()
-    if n_envs != 1:
-        cfg = replace(cfg, n_envs=n_envs)
+    if n_envs != 1 or vec_backend != "sync":
+        cfg = replace(cfg, n_envs=n_envs, vec_backend=vec_backend)
 
     def make_env() -> AbrAdversaryEnv:
         return AbrAdversaryEnv(
@@ -342,9 +347,17 @@ def train_abr_adversary(
             goal=goal,
         )
         trainer = PPO(env, cfg, seed=seed)
+        history = trainer.learn(total_steps, callback=callback)
     else:
-        vec = SyncVecEnv([make_env] * cfg.n_envs)
+        vec: VecEnv
+        if cfg.vec_backend == "subproc":
+            vec = SubprocVecEnv([make_env] * cfg.n_envs)
+            env = make_env()
+        else:
+            vec = SyncVecEnv([make_env] * cfg.n_envs)
+            env = vec.envs[0]
         trainer = PPO(vec, cfg, seed=seed)
-        env = vec.envs[0]
-    history = trainer.learn(total_steps, callback=callback)
+        history = trainer.learn(total_steps, callback=callback)
+        if cfg.vec_backend == "subproc":
+            vec.close()
     return AbrAdversaryResult(trainer=trainer, env=env, history=history)

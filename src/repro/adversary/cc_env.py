@@ -31,7 +31,7 @@ from repro.cc.protocols.base import Sender
 from repro.rl.env import Env
 from repro.rl.ppo import PPO, PPOConfig
 from repro.rl.spaces import Box
-from repro.rl.vec_env import SyncVecEnv
+from repro.rl.vec_env import SubprocVecEnv, SyncVecEnv, VecEnv
 
 __all__ = [
     "CC_ACTION_RANGES",
@@ -199,6 +199,7 @@ def train_cc_adversary(
     callback: Callable[[PPO, dict], None] | None = None,
     goal: str = "utilization",
     n_envs: int = 1,
+    vec_backend: str = "sync",
 ) -> CcAdversaryResult:
     """Train an adversary against a congestion-control protocol.
 
@@ -206,16 +207,21 @@ def train_cc_adversary(
     each, split into 200 training iterations"; ``total_steps`` scales that
     down for laptop runs.
 
-    ``n_envs > 1`` collects rollouts from that many parallel emulators via
-    :class:`~repro.rl.vec_env.SyncVecEnv`.  Each env gets its own base
-    seed spawned from ``np.random.SeedSequence(seed)``, so the emulators'
-    loss processes are independent across envs yet the whole run is
-    reproducible from ``seed`` alone; ``n_envs == 1`` is the exact
-    historical single-env path.
+    ``n_envs > 1`` collects rollouts from that many parallel emulators.
+    Each env gets its own base seed spawned from
+    ``np.random.SeedSequence(seed)``, so the emulators' loss processes are
+    independent across envs yet the whole run is reproducible from
+    ``seed`` alone; ``n_envs == 1`` is the exact historical single-env
+    path.  ``vec_backend="subproc"`` runs one emulator per worker process
+    (:class:`~repro.rl.vec_env.SubprocVecEnv`) -- the right choice here,
+    since the CC env's cost is the per-packet event loop itself -- and
+    produces the same rollouts as the default in-process backend; the
+    workers are shut down when training completes and the returned ``env``
+    is a fresh local instance with env 0's seed, ready for rollouts.
     """
     cfg = config or default_cc_adversary_config()
-    if n_envs != 1:
-        cfg = replace(cfg, n_envs=n_envs)
+    if n_envs != 1 or vec_backend != "sync":
+        cfg = replace(cfg, n_envs=n_envs, vec_backend=vec_backend)
 
     def make_env(env_seed: int) -> Callable[[], CcAdversaryEnv]:
         def build() -> CcAdversaryEnv:
@@ -238,11 +244,19 @@ def train_cc_adversary(
             goal=goal,
         )
         trainer = PPO(env, cfg, seed=seed)
+        history = trainer.learn(total_steps, callback=callback)
     else:
         children = np.random.SeedSequence(seed).spawn(cfg.n_envs)
         env_seeds = [int(c.generate_state(1)[0] % (2**31 - 1)) for c in children]
-        vec = SyncVecEnv([make_env(s) for s in env_seeds])
+        vec: VecEnv
+        if cfg.vec_backend == "subproc":
+            vec = SubprocVecEnv([make_env(s) for s in env_seeds])
+            env = make_env(env_seeds[0])()
+        else:
+            vec = SyncVecEnv([make_env(s) for s in env_seeds])
+            env = vec.envs[0]
         trainer = PPO(vec, cfg, seed=seed)
-        env = vec.envs[0]
-    history = trainer.learn(total_steps, callback=callback)
+        history = trainer.learn(total_steps, callback=callback)
+        if cfg.vec_backend == "subproc":
+            vec.close()
     return CcAdversaryResult(trainer=trainer, env=env, history=history)

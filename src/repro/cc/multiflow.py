@@ -122,8 +122,8 @@ class MultiFlowEmulator:
             if not self.link.queue_full:
                 packet.ingress_time = self.now
                 # Tag the owner flow on the packet for demultiplexing.
-                packet.owner = flow_index  # type: ignore[attr-defined]
-                self.link.queue.append(packet)
+                packet.owner = flow_index
+                self.link.enqueue(packet)
                 if not self.link.busy:
                     self._start_service()
             else:
@@ -141,8 +141,8 @@ class MultiFlowEmulator:
         self._schedule(self.now + self.link.service_time(head), "egress", -1, None)
 
     def _on_egress(self) -> None:
-        packet = self.link.queue.popleft()
-        owner = packet.owner  # type: ignore[attr-defined]
+        packet = self.link.dequeue()
+        owner = packet.owner
         self.link.bytes_delivered += packet.size_bytes
         self.flows[owner].delivered_bytes_interval += packet.size_bytes
         self._schedule(self.now + self.link.one_way_delay_s, "deliver", owner, packet)

@@ -9,9 +9,14 @@ __all__ = ["AckInfo", "Packet"]
 MSS_BYTES = 1500
 
 
-@dataclass
+@dataclass(slots=True)
 class Packet:
-    """One MSS-sized data packet in flight."""
+    """One MSS-sized data packet in flight.
+
+    ``slots=True`` keeps the per-packet footprint small: the emulators
+    allocate one of these per transmitted MSS, which at Table-1 rates is
+    tens of millions of instances per training run.
+    """
 
     seq: int
     size_bytes: int
@@ -22,9 +27,12 @@ class Packet:
     delivered_time_at_send: float
     ingress_time: float = 0.0
     service_start: float = 0.0
+    #: Owning flow index in :class:`~repro.cc.multiflow.MultiFlowEmulator`
+    #: (-1 for the single-flow emulator, which has no demultiplexing).
+    owner: int = -1
 
 
-@dataclass
+@dataclass(slots=True)
 class AckInfo:
     """What the sender learns when a packet is acknowledged."""
 
@@ -34,3 +42,7 @@ class AckInfo:
     delivered_bytes: int
     delivery_rate_bps: float
     queue_sojourn_s: float
+    #: Snapshot of the delivered counter when the acked packet was sent
+    #: (the packet's ``delivered_at_send``); lets rate-sampling protocols
+    #: like BBR track round trips without wrapping ``handle_ack``.
+    delivered_at_send: int = 0

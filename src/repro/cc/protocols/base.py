@@ -46,45 +46,59 @@ class Sender:
 
     def register_send(self, packet: Packet) -> None:
         self.inflight[packet.seq] = packet
-        self.highest_seq_sent = max(self.highest_seq_sent, packet.seq)
+        if packet.seq > self.highest_seq_sent:
+            self.highest_seq_sent = packet.seq
 
     def handle_ack(self, packet: Packet, now: float) -> None:
         """Process the arrival of an ack for ``packet``."""
-        if packet.seq not in self.inflight:
+        inflight = self.inflight
+        seq = packet.seq
+        if seq not in inflight:
             return  # already declared lost (spurious)
-        del self.inflight[packet.seq]
+        del inflight[seq]
         rtt = now - packet.sent_time
         self.last_rtt_s = rtt
-        self.srtt_s = rtt if self.srtt_s is None else 0.875 * self.srtt_s + 0.125 * rtt
-        self.delivered_bytes += packet.size_bytes
+        srtt = self.srtt_s
+        self.srtt_s = rtt if srtt is None else 0.875 * srtt + 0.125 * rtt
+        delivered = self.delivered_bytes + packet.size_bytes
+        self.delivered_bytes = delivered
         self.delivered_time = now
         self.total_acked += 1
         interval = now - packet.delivered_time_at_send
         if interval > 0:
-            rate = (self.delivered_bytes - packet.delivered_at_send) * 8.0 / interval
+            rate = (delivered - packet.delivered_at_send) * 8.0 / interval
         else:
             rate = 0.0
-        self.highest_seq_acked = max(self.highest_seq_acked, packet.seq)
+        if seq > self.highest_seq_acked:
+            self.highest_seq_acked = seq
+        # Positional construction: this runs once per delivered packet.
         ack = AckInfo(
-            seq=packet.seq,
-            now=now,
-            rtt_s=rtt,
-            delivered_bytes=self.delivered_bytes,
-            delivery_rate_bps=rate,
-            queue_sojourn_s=max(packet.service_start - packet.ingress_time, 0.0),
+            seq,
+            now,
+            rtt,
+            delivered,
+            rate,
+            max(packet.service_start - packet.ingress_time, 0.0),
+            packet.delivered_at_send,
         )
         self.on_ack(ack)
         self._detect_losses(now)
 
     def _detect_losses(self, now: float) -> None:
-        """Declare packets reordered past the dup-ack threshold as lost."""
-        lost = [
-            seq
-            for seq in self.inflight
-            if seq < self.highest_seq_acked - _DUP_THRESHOLD
-        ]
-        for seq in sorted(lost):
-            del self.inflight[seq]
+        """Declare packets reordered past the dup-ack threshold as lost.
+
+        ``inflight`` is insertion-ordered by strictly increasing seq, so
+        the packets past the reordering threshold are exactly a prefix of
+        the dict: scan from the front and stop at the first survivor
+        (O(1) amortized, vs the historical full scan per ack).
+        """
+        threshold = self.highest_seq_acked - _DUP_THRESHOLD
+        inflight = self.inflight
+        while inflight:
+            seq = next(iter(inflight))
+            if seq >= threshold:
+                break
+            del inflight[seq]
             self.total_lost += 1
             self.on_packet_lost(seq, now)
 

@@ -167,14 +167,16 @@ class BBRSender(Sender):
     # -- Sender hooks -----------------------------------------------------------
 
     def on_ack(self, ack: AckInfo) -> None:
+        # Round accounting first (a bw sample is stamped with the round it
+        # arrived in): the acked packet left after the previous round's
+        # marker was delivered, so a new round begins.  ``delivered_bytes``
+        # already includes this packet, matching the historical
+        # ``delivered_bytes + packet.size_bytes`` computed pre-update.
+        if ack.delivered_at_send >= self._next_round_delivered:
+            self.round_count += 1
+            self._next_round_delivered = ack.delivered_bytes
         self._update_filters(ack)
         self._update_state(ack.now)
-
-    def handle_ack(self, packet, now: float) -> None:  # noqa: D102 - see base
-        if packet.seq in self.inflight and packet.delivered_at_send >= self._next_round_delivered:
-            self.round_count += 1
-            self._next_round_delivered = self.delivered_bytes + packet.size_bytes
-        super().handle_ack(packet, now)
 
     def on_packet_lost(self, seq: int, now: float) -> None:
         # BBRv1's rate control disregards individual losses.
@@ -201,11 +203,37 @@ class BBRSender(Sender):
         return self.CYCLE_GAINS[self.cycle_index]
 
     def pacing_rate_bps(self, now: float) -> float:
-        return self.pacing_gain * self.max_bw_bps
+        # Hot path (one call per sent packet): ``pacing_gain * max_bw_bps``
+        # with the property chain flattened into local lookups.
+        mode = self.mode
+        if mode == self.PROBE_BW:
+            gain = self.CYCLE_GAINS[self.cycle_index]
+        elif mode == self.STARTUP:
+            gain = self.HIGH_GAIN
+        elif mode == self.DRAIN:
+            gain = 1.0 / self.HIGH_GAIN
+        else:
+            gain = 1.0
+        samples = self._bw_samples
+        return gain * (samples[0][1] if samples else self.init_bw_bps)
 
     @property
     def cwnd_packets(self) -> int:
-        if self.mode == self.PROBE_RTT:
+        # Hot path (one call per cwnd admission check): identical math to
+        # ``max(int(gain * self._bdp_packets()), self.min_cwnd_packets)``
+        # with the max_bw/rtprop property chain flattened.
+        mode = self.mode
+        if mode == self.PROBE_RTT:
             return self.min_cwnd_packets
-        gain = self.HIGH_GAIN if self.mode == self.STARTUP else 2.0
-        return max(int(gain * self._bdp_packets()), self.min_cwnd_packets)
+        rtprop = self._min_rtt_s
+        if rtprop is None:
+            bdp = 10.0
+        else:
+            samples = self._bw_samples
+            bw = samples[0][1] if samples else self.init_bw_bps
+            bdp = bw * rtprop / 8.0 / self.mss
+            if bdp < 1.0:
+                bdp = 1.0
+        gain = self.HIGH_GAIN if mode == self.STARTUP else 2.0
+        cwnd = int(gain * bdp)
+        return cwnd if cwnd > self.min_cwnd_packets else self.min_cwnd_packets

@@ -153,6 +153,7 @@ def run_robustness_experiment(
     pensieve_config: PPOConfig | None = None,
     adversary_config: PPOConfig | None = None,
     n_envs: int = 1,
+    vec_backend: str = "sync",
     trace_seed: int | None = None,
 ) -> RobustnessExperiment:
     """The Figure 4 pipeline with a shared training prefix.
@@ -162,6 +163,7 @@ def run_robustness_experiment(
     continuation, while the main line finishes unmodified ("Without Adv.").
 
     ``n_envs`` parallelizes the adversary trainings' rollout collection
+    and ``vec_backend`` picks the in-process or worker-process collector
     (see :func:`~repro.adversary.abr_env.train_abr_adversary`); setting
     ``trace_seed`` makes each generated adversarial trace independently
     reproducible instead of depending on the adversary trainer's leftover
@@ -202,6 +204,7 @@ def run_robustness_experiment(
         adversary = train_abr_adversary(
             frozen, video, total_steps=adversary_steps, seed=seed + 17,
             config=copy.deepcopy(adversary_config), n_envs=n_envs,
+            vec_backend=vec_backend,
         )
         rolls = generate_abr_traces(
             adversary.trainer, adversary.env, n_adversarial_traces,

@@ -9,7 +9,8 @@ Replaces the OpenAI Gym / stable-baselines stack the paper relied on:
 - :mod:`repro.rl.ppo` -- Proximal Policy Optimization (clipped surrogate),
 - :mod:`repro.rl.reinforce` -- REINFORCE-with-baseline (trainer ablation),
 - :mod:`repro.rl.running_stat` -- online observation normalization,
-- :mod:`repro.rl.vec_env` -- synchronous vectorized envs for batched rollouts.
+- :mod:`repro.rl.vec_env` -- vectorized envs for batched rollouts
+  (in-process ``SyncVecEnv`` and process-parallel ``SubprocVecEnv``).
 """
 
 from repro.rl.buffer import RolloutBuffer
@@ -19,7 +20,7 @@ from repro.rl.ppo import PPO, PPOConfig
 from repro.rl.reinforce import Reinforce, ReinforceConfig
 from repro.rl.running_stat import RunningMeanStd
 from repro.rl.spaces import Box, Discrete
-from repro.rl.vec_env import SyncVecEnv, make_vec_env
+from repro.rl.vec_env import SubprocVecEnv, SyncVecEnv, VecEnv, make_vec_env
 
 __all__ = [
     "ActorCritic",
@@ -32,6 +33,8 @@ __all__ = [
     "ReinforceConfig",
     "RolloutBuffer",
     "RunningMeanStd",
+    "SubprocVecEnv",
     "SyncVecEnv",
+    "VecEnv",
     "make_vec_env",
 ]

@@ -23,7 +23,7 @@ from repro.rl.env import Env
 from repro.rl.policy import ActorCritic
 from repro.rl.running_stat import RunningMeanStd
 from repro.rl.spaces import Box
-from repro.rl.vec_env import SyncVecEnv, make_vec_env
+from repro.rl.vec_env import SyncVecEnv, VecEnv, make_vec_env
 
 __all__ = ["PPO", "PPOConfig"]
 
@@ -37,9 +37,14 @@ class PPOConfig:
     n_epochs: int = 4
     #: Number of parallel environments per rollout.  ``n_envs == 1`` is the
     #: exact historical single-env path; ``n_envs > 1`` collects via a
-    #: :class:`~repro.rl.vec_env.SyncVecEnv` with one batched forward pass
-    #: per time step.
+    #: vectorized env with one batched forward pass per time step.
     n_envs: int = 1
+    #: Rollout-collection backend for ``n_envs > 1``: ``"sync"`` steps all
+    #: envs in-process (:class:`~repro.rl.vec_env.SyncVecEnv`; right when
+    #: the env step is cheap or batchable), ``"subproc"`` gives each env a
+    #: worker process (:class:`~repro.rl.vec_env.SubprocVecEnv`; right when
+    #: the env step itself dominates, e.g. the packet-level CC emulator).
+    vec_backend: str = "sync"
     gamma: float = 0.99
     gae_lambda: float = 0.95
     clip_range: float = 0.2
@@ -59,6 +64,10 @@ class PPOConfig:
             raise ValueError("n_steps must be positive")
         if self.n_envs <= 0:
             raise ValueError("n_envs must be positive")
+        if self.vec_backend not in ("sync", "subproc"):
+            raise ValueError(
+                f"vec_backend must be 'sync' or 'subproc', got {self.vec_backend!r}"
+            )
         if not 0.0 < self.gamma <= 1.0:
             raise ValueError("gamma must be in (0, 1]")
         if not 0.0 <= self.gae_lambda <= 1.0:
@@ -98,34 +107,39 @@ class PPO:
 
     def __init__(
         self,
-        env: Env | SyncVecEnv,
+        env: Env | VecEnv,
         config: PPOConfig | None = None,
         seed: int = 0,
         policy: ActorCritic | None = None,
     ) -> None:
         self.cfg = config if config is not None else PPOConfig()
-        if isinstance(env, SyncVecEnv):
+        if isinstance(env, VecEnv):
             if self.cfg.n_envs not in (1, env.n_envs):
                 raise ValueError(
                     f"config.n_envs={self.cfg.n_envs} does not match the "
-                    f"given SyncVecEnv of {env.n_envs} envs"
+                    f"given vectorized env of {env.n_envs} envs"
                 )
             self.cfg.n_envs = env.n_envs
-            self.vec_env: SyncVecEnv | None = env
-            self.env = env.envs[0]
+            self.vec_env: VecEnv | None = env
+            # Subproc workers hold their envs remotely; ``self.env`` is
+            # only available (and only needed) on in-process backends.
+            self.env = env.envs[0] if isinstance(env, SyncVecEnv) else None
         elif self.cfg.n_envs > 1:
-            self.vec_env = make_vec_env(env, self.cfg.n_envs)
+            self.vec_env = make_vec_env(
+                env, self.cfg.n_envs, backend=self.cfg.vec_backend
+            )
             self.env = env
         else:
             self.vec_env = None
             self.env = env
         self.cfg.validate()
         self.rng = np.random.default_rng(seed)
-        obs_space = self.env.observation_space
+        space_owner = self.vec_env if self.vec_env is not None else self.env
+        obs_space = space_owner.observation_space
         obs_dim = obs_space.dim if isinstance(obs_space, Box) else 1
         self.policy = policy if policy is not None else ActorCritic(
             obs_dim,
-            self.env.action_space,
+            space_owner.action_space,
             hidden=self.cfg.hidden,
             activation=self.cfg.activation,
             rng=self.rng,

@@ -156,3 +156,43 @@ class TestProtocolOrdering:
         for policy in (MPC(), BufferBased(), RateBased()):
             result = run_session(video, trace, policy)
             assert len(result.qualities) == video.n_chunks
+
+
+class TestMpcComboCache:
+    """Regression: the 6^h plan tables must be keyed on (n_bitrates, horizon).
+
+    The old check compared ``n_bitrates`` against ``combos.shape[1]`` (the
+    horizon length), so the tables were needlessly rebuilt on most resets
+    and -- worse -- stale tables survived a switch to a video with a
+    different bitrate count, indexing out of that video's bitrate range.
+    """
+
+    def test_cache_reused_across_resets_with_same_video(self, video):
+        mpc = MPC()
+        mpc.reset(video)
+        tables = mpc._combos
+        mpc.reset(video)
+        assert mpc._combos is tables, "plan tables rebuilt on a plain reset"
+
+    def test_cache_rebuilt_when_bitrate_count_changes(self, video):
+        mpc = MPC(horizon=3)
+        mpc.reset(video)
+        assert mpc._combos[3].shape == (video.n_bitrates ** 3, 3)
+
+        narrow = Video.synthetic(
+            n_chunks=20, seed=1, bitrates_kbps=(300, 750, 1200)
+        )
+        mpc.reset(narrow)
+        assert mpc._combos[3].shape == (3 ** 3, 3)
+        assert int(mpc._combos[3].max()) == narrow.n_bitrates - 1
+
+        # Decisions on the narrow video must stay within its bitrate range
+        # even mid-session (stale 6-bitrate tables would index past it).
+        history = [(5.0e6 / 8.0, 1.0)] * 5
+        obs = make_obs(narrow, 15.0, history=history, last_quality=2,
+                       chunk_index=5)
+        assert 0 <= mpc.select(obs) < narrow.n_bitrates
+
+        # And switching back rebuilds the wide tables again.
+        mpc.reset(video)
+        assert mpc._combos[3].shape == (video.n_bitrates ** 3, 3)

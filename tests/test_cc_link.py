@@ -37,16 +37,27 @@ class TestTimeVaryingLink:
     def test_queue_full(self):
         link = TimeVaryingLink(12.0, 40.0, queue_packets=2)
         assert not link.queue_full
-        link.queue.append(make_packet(0))
-        link.queue.append(make_packet(1))
+        link.enqueue(make_packet(0))
+        link.enqueue(make_packet(1))
         assert link.queue_full
 
     def test_queuing_delay_estimate(self):
         link = TimeVaryingLink(12.0, 40.0)
         for i in range(10):
-            link.queue.append(make_packet(i))
+            link.enqueue(make_packet(i))
         # 10 * 1500 bytes at 12 Mbps = 10 ms.
         assert link.queuing_delay_estimate_s() == pytest.approx(0.010)
+
+    def test_enqueue_dequeue_track_queue_bytes(self):
+        link = TimeVaryingLink(12.0, 40.0)
+        link.enqueue(make_packet(0))
+        link.enqueue(make_packet(1))
+        assert link.queue_bytes() == 2 * MSS_BYTES
+        out = link.dequeue()
+        assert out.seq == 0
+        assert link.queue_bytes() == MSS_BYTES
+        link.dequeue()
+        assert link.queue_bytes() == 0
 
     def test_conditions_update(self):
         link = TimeVaryingLink(12.0, 40.0)
