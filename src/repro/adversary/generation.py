@@ -14,6 +14,7 @@ noise-free action sequence used for Figure 6.
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass
 
 import numpy as np
@@ -21,6 +22,7 @@ import numpy as np
 from repro.adversary.abr_env import AbrAdversaryEnv
 from repro.adversary.cc_env import CcAdversaryEnv
 from repro.cc.network import IntervalStats
+from repro.exec import as_runner, spawn_rngs
 from repro.rl.ppo import PPO
 from repro.traces.trace import Trace
 
@@ -99,6 +101,8 @@ def generate_abr_traces(
     deterministic: bool = False,
     name_prefix: str = "adv-abr",
     seed: int | None = None,
+    workers: int | None = None,
+    names: list[str] | None = None,
 ) -> list[AbrRollout]:
     """Produce a corpus of adversarial traces (the paper generates 200).
 
@@ -106,25 +110,89 @@ def generate_abr_traces(
     own generator spawned via ``np.random.SeedSequence(seed)``, so trace i
     of the corpus is reproducible independently of the trainer's internal
     generator state and of the other traces.
+
+    That same independence makes the corpus embarrassingly parallel:
+    ``workers > 1`` fans the rollouts over a process pool
+    (:class:`repro.exec.ParallelMap`), each worker replaying against its
+    own copy of the frozen policy and environment, with results returned
+    in trace order -- bitwise-identical to the serial loop.  Stochastic
+    parallel generation therefore *requires* ``seed`` (without it, noise
+    would come from the trainer's serially-consumed generator).
     """
     if n_traces <= 0:
         raise ValueError("n_traces must be positive")
-    rngs = _spawn_rngs(seed, n_traces)
-    return [
-        rollout_abr_adversary(
-            trainer, env, deterministic=deterministic,
-            name=f"{name_prefix}-{i:03d}", rng=rngs[i],
-        )
-        for i in range(n_traces)
-    ]
+    names = _trace_names(names, name_prefix, n_traces)
+    rngs = spawn_rngs(seed, n_traces)
+    with as_runner(workers) as runner:
+        if not runner.parallel:
+            return [
+                rollout_abr_adversary(
+                    trainer, env, deterministic=deterministic,
+                    name=names[i], rng=rngs[i],
+                )
+                for i in range(n_traces)
+            ]
+        if seed is None and not deterministic:
+            raise ValueError(
+                "parallel stochastic generation needs seed= (per-trace rngs)"
+            )
+        predictor = _FrozenPredictor.from_trainer(trainer)
+        tasks = [
+            (predictor, env, deterministic, names[i], rngs[i])
+            for i in range(n_traces)
+        ]
+        return runner.map(_abr_rollout_task, tasks)
 
 
-def _spawn_rngs(
-    seed: int | None, n: int
-) -> list[np.random.Generator] | list[None]:
-    if seed is None:
-        return [None] * n
-    return [np.random.default_rng(c) for c in np.random.SeedSequence(seed).spawn(n)]
+def _trace_names(names: list[str] | None, prefix: str, n: int) -> list[str]:
+    if names is None:
+        return [f"{prefix}-{i:03d}" for i in range(n)]
+    if len(names) != n:
+        raise ValueError(f"got {len(names)} names for {n} traces")
+    return list(names)
+
+
+class _FrozenPredictor:
+    """A picklable stand-in for ``PPO.predict`` on a frozen policy.
+
+    Shipping the full trainer to workers would drag its (possibly
+    subprocess-backed, unpicklable) vec env along; rollouts only need the
+    policy weights and observation statistics, and this reproduces
+    :meth:`repro.rl.ppo.PPO.predict` exactly for an explicitly supplied
+    ``rng`` or a deterministic rollout.
+    """
+
+    def __init__(self, policy, obs_rms) -> None:
+        self.policy = policy
+        self.obs_rms = obs_rms
+
+    @classmethod
+    def from_trainer(cls, trainer: PPO) -> "_FrozenPredictor":
+        return cls(trainer.policy, trainer.obs_rms if trainer.cfg.normalize_obs else None)
+
+    def predict(self, obs, deterministic: bool = True, rng=None):
+        if rng is None and not deterministic:
+            raise ValueError("stochastic frozen prediction needs an explicit rng")
+        if self.obs_rms is not None:
+            obs = self.obs_rms.normalize(obs)
+        else:
+            obs = np.asarray(obs, dtype=float)
+        action, _logp, _value = self.policy.act(obs, rng, deterministic=deterministic)
+        return action
+
+
+def _abr_rollout_task(task) -> AbrRollout:
+    predictor, env, deterministic, name, rng = task
+    return rollout_abr_adversary(
+        predictor, env, deterministic=deterministic, name=name, rng=rng
+    )
+
+
+def _cc_rollout_task(task) -> CcRollout:
+    predictor, env, deterministic, name, rng = task
+    return rollout_cc_adversary(
+        predictor, env, deterministic=deterministic, name=name, rng=rng
+    )
 
 
 def rollout_cc_adversary(
@@ -176,19 +244,43 @@ def generate_cc_traces(
     deterministic: bool = False,
     name_prefix: str = "adv-cc",
     seed: int | None = None,
+    workers: int | None = None,
+    names: list[str] | None = None,
 ) -> list[CcRollout]:
     """Produce a corpus of adversarial congestion-control traces.
 
-    ``seed`` makes each trace independently reproducible; see
-    :func:`generate_abr_traces`.
+    ``seed`` makes each trace independently reproducible and ``workers``
+    parallelizes the rollouts; see :func:`generate_abr_traces`.  The CC
+    env derives each episode's emulator seed from its episode counter, so
+    the parallel path gives worker *i*'s env copy the counter value its
+    rollout would have seen serially (and advances the caller's env by
+    ``n_traces``), keeping the corpus bitwise-identical to the serial
+    loop; only the caller's env *emulator* state afterwards differs (it
+    is left untouched instead of holding the last rollout's wreckage).
     """
     if n_traces <= 0:
         raise ValueError("n_traces must be positive")
-    rngs = _spawn_rngs(seed, n_traces)
-    return [
-        rollout_cc_adversary(
-            trainer, env, deterministic=deterministic,
-            name=f"{name_prefix}-{i:03d}", rng=rngs[i],
-        )
-        for i in range(n_traces)
-    ]
+    names = _trace_names(names, name_prefix, n_traces)
+    rngs = spawn_rngs(seed, n_traces)
+    with as_runner(workers) as runner:
+        if not runner.parallel:
+            return [
+                rollout_cc_adversary(
+                    trainer, env, deterministic=deterministic,
+                    name=names[i], rng=rngs[i],
+                )
+                for i in range(n_traces)
+            ]
+        if seed is None and not deterministic:
+            raise ValueError(
+                "parallel stochastic generation needs seed= (per-trace rngs)"
+            )
+        predictor = _FrozenPredictor.from_trainer(trainer)
+        tasks = []
+        base_episode = env._episode
+        for i in range(n_traces):
+            env_i = copy.deepcopy(env)
+            env_i._episode = base_episode + i
+            tasks.append((predictor, env_i, deterministic, names[i], rngs[i]))
+        env._episode = base_episode + n_traces
+        return runner.map(_cc_rollout_task, tasks)

@@ -3,15 +3,22 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable, Sequence
 
 import numpy as np
 
 from repro.cc.link import TimeVaryingLink
 from repro.cc.network import IntervalStats, PacketNetworkEmulator
 from repro.cc.protocols.base import Sender
+from repro.exec import ResultCache, as_runner, cached_map, make_key
 from repro.traces.trace import Trace
 
-__all__ = ["CcRunResult", "run_sender_on_trace", "summarize_intervals"]
+__all__ = [
+    "CcRunResult",
+    "run_sender_on_trace",
+    "run_sender_on_traces",
+    "summarize_intervals",
+]
 
 
 @dataclass
@@ -92,3 +99,51 @@ def run_sender_on_trace(
         emulator.run_interval(interval_s)
         t += interval_s
     return summarize_intervals(emulator.history[measured_from:], sender)
+
+
+def _replay_task(task) -> CcRunResult:
+    sender_factory, trace, interval_s, queue_packets, seed, warmup_s = task
+    return run_sender_on_trace(
+        sender_factory(), trace, interval_s=interval_s,
+        queue_packets=queue_packets, seed=seed, warmup_s=warmup_s,
+    )
+
+
+def run_sender_on_traces(
+    sender_factory: Callable[[], Sender],
+    traces: Sequence[Trace],
+    seeds: Sequence[int],
+    interval_s: float = 0.030,
+    queue_packets: int = 120,
+    warmup_s: float = 0.0,
+    workers=None,
+    cache=None,
+) -> list[CcRunResult]:
+    """Replay a corpus of traces, one fresh sender per trace.
+
+    Each replay is independent (fresh sender, its own emulator seed), so
+    ``workers`` parallelizes them and ``cache`` memoizes each
+    :class:`CcRunResult` under a digest of (sender construction state,
+    trace samples, emulator seed, replay parameters, schema version).
+    Results are in trace order and identical to calling
+    :func:`run_sender_on_trace` in a loop.
+    """
+    traces = list(traces)
+    if len(seeds) != len(traces):
+        raise ValueError(f"got {len(seeds)} seeds for {len(traces)} traces")
+    cache = ResultCache.resolve(cache)
+    tasks = [
+        (sender_factory, trace, interval_s, queue_packets, int(seed), warmup_s)
+        for trace, seed in zip(traces, seeds)
+    ]
+    keys = None
+    if cache is not None:
+        keys = [
+            make_key(
+                "cc-replay", sender_factory(), trace, interval_s,
+                queue_packets, int(seed), warmup_s,
+            )
+            for trace, seed in zip(traces, seeds)
+        ]
+    with as_runner(workers) as runner:
+        return cached_map(_replay_task, tasks, runner, cache=cache, keys=keys)

@@ -18,14 +18,16 @@ import sys
 
 import numpy as np
 
-from repro.abr.protocols import MPC, BufferBased, RateBased, run_session
+from repro.abr.protocols import MPC, BufferBased, RateBased
 from repro.abr.video import Video
 from repro.adversary.abr_env import train_abr_adversary
 from repro.adversary.cc_env import train_cc_adversary
 from repro.adversary.generation import generate_abr_traces, generate_cc_traces
 from repro.analysis import format_table
 from repro.cc import BBRSender, CubicSender, RenoSender
-from repro.cc.metrics import run_sender_on_trace
+from repro.cc.metrics import run_sender_on_traces
+from repro.exec import ResultCache, resolve_workers
+from repro.experiments.abr_suite import evaluate_protocols
 from repro.traces.io import load_corpus, save_corpus
 from repro.traces.synthetic import make_dataset
 
@@ -36,6 +38,34 @@ _ABR_TARGETS = {
     "rb": RateBased,
 }
 _SENDERS = {"bbr": BBRSender, "cubic": CubicSender, "reno": RenoSender}
+
+
+def _add_exec_args(p: argparse.ArgumentParser, cache: bool = True) -> None:
+    p.add_argument("--workers", type=int, default=None,
+                   help="worker processes (default: $REPRO_WORKERS or serial)")
+    if cache:
+        p.add_argument("--cache-dir", default=None,
+                       help="result cache directory (default: $REPRO_CACHE_DIR)")
+        p.add_argument("--no-cache", action="store_true",
+                       help="disable the result cache for this run")
+
+
+def _resolve_cache(args: argparse.Namespace) -> "ResultCache | bool | None":
+    if args.no_cache:
+        return False
+    if args.cache_dir:
+        return ResultCache(args.cache_dir)
+    return ResultCache.from_env()
+
+
+def _report_exec(cache, workers) -> None:
+    """Post-run telemetry: what ran where, what was served from cache."""
+    n = resolve_workers(workers)
+    print(f"workers: {n if n > 1 else 'serial'}")
+    if isinstance(cache, ResultCache):
+        print(cache.summary())
+    else:
+        print("cache: disabled")
 
 
 def _cmd_train_abr_adversary(args: argparse.Namespace) -> int:
@@ -52,7 +82,11 @@ def _cmd_train_abr_adversary(args: argparse.Namespace) -> int:
         result.trainer.save(args.out)
         print(f"saved adversary model to {args.out}")
     if args.traces_out:
-        rolls = generate_abr_traces(result.trainer, result.env, args.n_traces)
+        rolls = generate_abr_traces(
+            result.trainer, result.env, args.n_traces,
+            seed=args.trace_seed,
+            workers=args.workers if args.trace_seed is not None else 0,
+        )
         save_corpus([r.trace for r in rolls], args.traces_out)
         qoe = float(np.mean([r.target_qoe_mean for r in rolls]))
         print(f"wrote {args.n_traces} traces to {args.traces_out} "
@@ -73,7 +107,11 @@ def _cmd_train_cc_adversary(args: argparse.Namespace) -> int:
         result.trainer.save(args.out)
         print(f"saved adversary model to {args.out}")
     if args.traces_out:
-        rolls = generate_cc_traces(result.trainer, result.env, args.n_traces)
+        rolls = generate_cc_traces(
+            result.trainer, result.env, args.n_traces,
+            seed=args.trace_seed,
+            workers=args.workers if args.trace_seed is not None else 0,
+        )
         save_corpus([r.trace for r in rolls], args.traces_out)
         frac = float(np.mean([r.capacity_fraction for r in rolls]))
         print(f"wrote {args.n_traces} traces to {args.traces_out} "
@@ -84,25 +122,35 @@ def _cmd_train_cc_adversary(args: argparse.Namespace) -> int:
 def _cmd_evaluate_abr(args: argparse.Namespace) -> int:
     video = Video.synthetic(n_chunks=args.chunks, seed=args.video_seed)
     traces = load_corpus(args.traces)
-    rows = []
-    for name, factory in _ABR_TARGETS.items():
-        qoes = [
-            run_session(video, t, factory(), chunk_indexed=args.chunk_indexed).qoe_mean
-            for t in traces
-        ]
-        rows.append([name, float(np.mean(qoes)), float(np.min(qoes))])
+    cache = _resolve_cache(args)
+    protocols = {name: factory() for name, factory in _ABR_TARGETS.items()}
+    qoe = evaluate_protocols(
+        video, traces, protocols, chunk_indexed=args.chunk_indexed,
+        workers=args.workers, cache=cache if cache is not None else False,
+    )
+    rows = [
+        [name, float(np.mean(qoes)), float(np.min(qoes))]
+        for name, qoes in qoe.items()
+    ]
     print(format_table(["protocol", "mean QoE", "min QoE"], rows))
+    _report_exec(cache, args.workers)
     return 0
 
 
 def _cmd_evaluate_cc(args: argparse.Namespace) -> int:
     traces = load_corpus(args.traces)
     sender_cls = _SENDERS[args.sender]
-    rows = []
-    for i, trace in enumerate(traces):
-        run = run_sender_on_trace(sender_cls(), trace, seed=args.seed + i)
-        rows.append([trace.name, run.mean_throughput_mbps, run.capacity_fraction])
+    cache = _resolve_cache(args)
+    runs = run_sender_on_traces(
+        sender_cls, traces, seeds=[args.seed + i for i in range(len(traces))],
+        workers=args.workers, cache=cache if cache is not None else False,
+    )
+    rows = [
+        [trace.name, run.mean_throughput_mbps, run.capacity_fraction]
+        for trace, run in zip(traces, runs)
+    ]
     print(format_table(["trace", "throughput (Mbps)", "capacity fraction"], rows))
+    _report_exec(cache, args.workers)
     return 0
 
 
@@ -160,6 +208,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", help="save the trained model (.npz)")
     p.add_argument("--traces-out", help="write generated traces (JSONL)")
     p.add_argument("--n-traces", type=int, default=20)
+    p.add_argument("--trace-seed", type=int, default=None,
+                   help="seed for per-trace rollout noise (enables --workers)")
+    _add_exec_args(p, cache=False)
     p.set_defaults(func=_cmd_train_abr_adversary)
 
     p = sub.add_parser("train-cc-adversary", help="train an adversary vs a CC sender")
@@ -170,6 +221,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", help="save the trained model (.npz)")
     p.add_argument("--traces-out", help="write generated traces (JSONL)")
     p.add_argument("--n-traces", type=int, default=5)
+    p.add_argument("--trace-seed", type=int, default=None,
+                   help="seed for per-trace rollout noise (enables --workers)")
+    _add_exec_args(p, cache=False)
     p.set_defaults(func=_cmd_train_cc_adversary)
 
     p = sub.add_parser("evaluate-abr", help="run every ABR protocol over a corpus")
@@ -178,12 +232,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--video-seed", type=int, default=1)
     p.add_argument("--chunk-indexed", action="store_true",
                    help="apply one bandwidth per chunk (adversarial replay)")
+    _add_exec_args(p)
     p.set_defaults(func=_cmd_evaluate_abr)
 
     p = sub.add_parser("evaluate-cc", help="replay CC traces against a sender")
     p.add_argument("--traces", required=True)
     p.add_argument("--sender", choices=sorted(_SENDERS), default="bbr")
     p.add_argument("--seed", type=int, default=0)
+    _add_exec_args(p)
     p.set_defaults(func=_cmd_evaluate_cc)
 
     p = sub.add_parser("regression-build",

@@ -1,0 +1,43 @@
+"""Parallel evaluation engine and content-addressed result cache.
+
+The third leg of the perf stack (after PR 1's rollout vectorization and
+PR 2's emulator fast path): the experiment layer's ``(protocol, trace,
+seed)`` sessions are embarrassingly parallel and almost always repeated
+across figure scripts, so :class:`ParallelMap` fans them over a
+persistent process pool in deterministic submission order and
+:class:`ResultCache` memoizes each session under a content digest.
+``n_workers`` 0/1 and a disabled cache reproduce the historical serial
+loops bit for bit.
+"""
+
+from repro.exec.cache import (
+    CACHE_DIR_ENV,
+    SCHEMA_VERSION,
+    ResultCache,
+    fingerprint,
+    make_key,
+)
+from repro.exec.runner import (
+    ParallelMap,
+    RemoteTraceback,
+    as_runner,
+    cached_map,
+    resolve_workers,
+    spawn_rngs,
+    spawn_seeds,
+)
+
+__all__ = [
+    "CACHE_DIR_ENV",
+    "SCHEMA_VERSION",
+    "ParallelMap",
+    "RemoteTraceback",
+    "ResultCache",
+    "as_runner",
+    "cached_map",
+    "fingerprint",
+    "make_key",
+    "resolve_workers",
+    "spawn_rngs",
+    "spawn_seeds",
+]

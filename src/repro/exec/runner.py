@@ -1,0 +1,218 @@
+"""Ordered parallel task execution over a persistent worker pool.
+
+:class:`ParallelMap` fans a deterministic task list over a
+``ProcessPoolExecutor`` and returns results **in submission order**, so
+any caller whose tasks are independent gets output bitwise-identical to
+its serial loop regardless of the worker count.  ``n_workers`` of 0 or 1
+selects the exact in-process serial path: tasks run in the calling
+process on the caller's own objects, with no pickling and native
+exception propagation -- byte-for-byte the historical behaviour.
+
+Worker failures re-raise the original exception in the parent with the
+remote traceback attached as ``__cause__`` (a :class:`RemoteTraceback`),
+mirroring ``concurrent.futures`` but surviving exceptions that do not
+pickle.  Remaining tasks are cancelled on the first failure, in order.
+
+Seeding follows the PR 1/2 convention: :func:`spawn_rngs` derives one
+independent ``np.random.Generator`` per task from a single
+``np.random.SeedSequence``, so task *i* is reproducible on its own no
+matter where (or whether) the other tasks ran.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import pickle
+import traceback
+from concurrent.futures import ProcessPoolExecutor
+from contextlib import contextmanager
+from typing import Any, Callable, Iterable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "ParallelMap",
+    "RemoteTraceback",
+    "as_runner",
+    "cached_map",
+    "resolve_workers",
+    "spawn_rngs",
+    "spawn_seeds",
+]
+
+#: Environment variable giving the default worker count (0 = serial).
+WORKERS_ENV = "REPRO_WORKERS"
+
+
+def resolve_workers(n_workers: int | None) -> int:
+    """Resolve a worker-count spec: ``None`` falls back to ``$REPRO_WORKERS``."""
+    if n_workers is None:
+        n_workers = int(os.environ.get(WORKERS_ENV, "0") or 0)
+    n_workers = int(n_workers)
+    if n_workers < 0:
+        raise ValueError(f"n_workers must be >= 0, got {n_workers}")
+    return n_workers
+
+
+def spawn_seeds(seed: int | None, n: int) -> list[int | None]:
+    """``n`` independent child seeds of ``seed`` (all ``None`` if unseeded)."""
+    if seed is None:
+        return [None] * n
+    return [int(c.generate_state(1)[0]) for c in np.random.SeedSequence(seed).spawn(n)]
+
+
+def spawn_rngs(seed: int | None, n: int) -> list[np.random.Generator] | list[None]:
+    """One generator per task from ``SeedSequence(seed).spawn(n)`` (PR 1/2 style)."""
+    if seed is None:
+        return [None] * n
+    return [np.random.default_rng(c) for c in np.random.SeedSequence(seed).spawn(n)]
+
+
+class RemoteTraceback(Exception):
+    """Carries a worker-side traceback as the ``__cause__`` of a re-raise."""
+
+    def __init__(self, tb: str) -> None:
+        super().__init__(tb)
+        self.tb = tb
+
+    def __str__(self) -> str:
+        return f"\n{self.tb}"
+
+
+def _invoke(fn: Callable[[Any], Any], task: Any) -> tuple[bool, Any]:
+    """Run one task in a worker; never let an exception cross unpickled."""
+    try:
+        return True, fn(task)
+    except BaseException as exc:  # noqa: BLE001 -- re-raised in the parent
+        tb = traceback.format_exc()
+        try:
+            pickle.dumps(exc)
+        except Exception:
+            exc = RuntimeError(f"worker raised an unpicklable {type(exc).__name__}: {exc!r}")
+        return False, (exc, tb)
+
+
+def _mp_context() -> mp.context.BaseContext:
+    """Prefer ``fork`` (cheap, closure-friendly) like repro.rl.vec_env."""
+    methods = mp.get_all_start_methods()
+    return mp.get_context("fork" if "fork" in methods else methods[0])
+
+
+class ParallelMap:
+    """A persistent, order-preserving process-pool mapper.
+
+    Parameters
+    ----------
+    n_workers:
+        Worker processes.  ``0``/``1`` run tasks serially in-process (the
+        exact historical loop); ``None`` reads ``$REPRO_WORKERS``.  The
+        pool is created lazily on the first parallel :meth:`map` and
+        reused across calls until :meth:`close`.
+    """
+
+    def __init__(self, n_workers: int | None = None) -> None:
+        self.n_workers = resolve_workers(n_workers)
+        self._executor: ProcessPoolExecutor | None = None
+
+    @property
+    def parallel(self) -> bool:
+        return self.n_workers > 1
+
+    def _pool(self) -> ProcessPoolExecutor:
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.n_workers, mp_context=_mp_context()
+            )
+        return self._executor
+
+    def map(self, fn: Callable[[Any], Any], tasks: Iterable[Any]) -> list[Any]:
+        """Apply ``fn`` to every task; results in submission order.
+
+        Serial mode calls ``fn(task)`` directly on the caller's objects.
+        Parallel mode pickles each task to a worker, so tasks must be
+        picklable and ``fn`` must be a module-level callable; each task
+        sees its own copy of any shared objects.
+        """
+        tasks = list(tasks)
+        if not self.parallel:
+            return [fn(task) for task in tasks]
+        futures = [self._pool().submit(_invoke, fn, task) for task in tasks]
+        results: list[Any] = []
+        try:
+            for future in futures:
+                ok, payload = future.result()
+                if not ok:
+                    exc, tb = payload
+                    raise exc from RemoteTraceback(tb)
+                results.append(payload)
+        finally:
+            for future in futures:
+                future.cancel()
+        return results
+
+    def close(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def __enter__(self) -> "ParallelMap":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+@contextmanager
+def as_runner(workers: "int | None | ParallelMap"):
+    """Yield a :class:`ParallelMap` for ``workers``.
+
+    An existing runner is borrowed (and left open for its owner); an int
+    or ``None`` builds a temporary runner that is closed on exit.  This is
+    how experiment entry points share one persistent pool across their
+    internal evaluation loops.
+    """
+    if isinstance(workers, ParallelMap):
+        yield workers
+        return
+    runner = ParallelMap(workers)
+    try:
+        yield runner
+    finally:
+        runner.close()
+
+
+def cached_map(
+    fn: Callable[[Any], Any],
+    tasks: Sequence[Any],
+    runner: ParallelMap,
+    cache=None,
+    keys: Sequence[str] | None = None,
+) -> list[Any]:
+    """Memoized ordered map: serve cache hits, compute only the misses.
+
+    ``keys[i]`` is the content-addressed cache key of ``tasks[i]`` (see
+    :mod:`repro.exec.cache`); with ``cache`` or ``keys`` unset every task
+    is computed.  Misses are computed through ``runner`` in task order and
+    stored back, so a cold cache produces exactly the uncached results and
+    a warm cache returns them without recomputation.
+    """
+    tasks = list(tasks)
+    if cache is None or keys is None:
+        return runner.map(fn, tasks)
+    if len(keys) != len(tasks):
+        raise ValueError(f"got {len(keys)} keys for {len(tasks)} tasks")
+    results: list[Any] = [None] * len(tasks)
+    pending: list[int] = []
+    for i, key in enumerate(keys):
+        hit, value = cache.lookup(key)
+        if hit:
+            results[i] = value
+        else:
+            pending.append(i)
+    if pending:
+        computed = runner.map(fn, [tasks[i] for i in pending])
+        for i, value in zip(pending, computed):
+            results[i] = value
+            cache.put(keys[i], value)
+    return results

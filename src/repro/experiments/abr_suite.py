@@ -16,6 +16,7 @@ from repro.abr.video import Video
 from repro.adversary.abr_env import train_abr_adversary
 from repro.adversary.generation import generate_abr_traces
 from repro.analysis.stats import QoERatioSummary, percentile, qoe_ratio_summary
+from repro.exec import ParallelMap, ResultCache, as_runner, cached_map, make_key
 from repro.rl.ppo import PPO, PPOConfig
 from repro.traces.trace import Trace
 
@@ -30,23 +31,56 @@ __all__ = [
 ]
 
 
+def _session_qoe_task(task) -> float:
+    """One ``(video, trace, policy)`` replay; module-level for worker pickling."""
+    video, trace, policy, weights, chunk_indexed = task
+    return run_session(
+        video, trace, policy, weights=weights, chunk_indexed=chunk_indexed
+    ).qoe_mean
+
+
+def _session_key(video, trace, policy, weights, chunk_indexed: bool) -> str:
+    """Content address of one session: everything its QoE depends on."""
+    return make_key("abr-session-qoe", video, trace, policy, weights, chunk_indexed)
+
+
 def evaluate_protocols(
     video: Video,
     traces: list[Trace],
     protocols: Mapping[str, AbrPolicy],
     chunk_indexed: bool = False,
     weights: QoEWeights = QoEWeights(),
+    workers: "int | ParallelMap | None" = None,
+    cache: "ResultCache | str | bool | None" = None,
 ) -> dict[str, list[float]]:
-    """Per-trace mean QoE of each protocol over a trace corpus."""
+    """Per-trace mean QoE of each protocol over a trace corpus.
+
+    Sessions are independent replays, so ``workers`` fans them over a
+    process pool (``0``/``1``/default: the exact serial loop; ``None``
+    honours ``$REPRO_WORKERS``) and ``cache`` memoizes each session's QoE
+    under a content digest of (video, trace samples, policy identity +
+    weights, QoE weights, ``chunk_indexed``, schema version) -- see
+    :mod:`repro.exec`.  Results are identical to the serial uncached loop
+    in all modes; parallel evaluation of *stochastic* policies is the one
+    unsupported combination (each worker would snapshot, not share, the
+    policy's generator).
+    """
     if not traces:
         raise ValueError("empty trace corpus")
+    cache = ResultCache.resolve(cache)
     results: dict[str, list[float]] = {}
-    for name, policy in protocols.items():
-        results[name] = [
-            run_session(video, trace, policy, weights=weights,
-                        chunk_indexed=chunk_indexed).qoe_mean
-            for trace in traces
-        ]
+    with as_runner(workers) as runner:
+        for name, policy in protocols.items():
+            tasks = [(video, t, policy, weights, chunk_indexed) for t in traces]
+            keys = None
+            if cache is not None:
+                keys = [
+                    _session_key(video, t, policy, weights, chunk_indexed)
+                    for t in traces
+                ]
+            results[name] = cached_map(
+                _session_qoe_task, tasks, runner, cache=cache, keys=keys
+            )
     return results
 
 
@@ -66,17 +100,30 @@ def run_abr_cdf_experiment(
     protocols: Mapping[str, AbrPolicy],
     ratio_pairs: list[tuple[str, str, str]],
     chunk_indexed: bool = True,
+    workers: "int | ParallelMap | None" = None,
+    cache: "ResultCache | str | bool | None" = None,
 ) -> AbrCdfExperiment:
     """Evaluate all protocols on all corpora and summarize QoE ratios.
 
     ``ratio_pairs`` lists ``(other, targeted, corpus)`` triples, e.g.
     ``("pensieve", "mpc", "anti-mpc")`` reproduces the "Pensieve/MPC on
-    MPC traces" bar of Figure 2.
+    MPC traces" bar of Figure 2.  ``workers``/``cache`` parallelize and
+    memoize the sessions (one persistent pool spans every corpus); see
+    :func:`evaluate_protocols`.
     """
-    qoe = {
-        corpus_name: evaluate_protocols(video, traces, protocols, chunk_indexed)
-        for corpus_name, traces in corpora.items()
-    }
+    # Resolve once so the env-var default is not re-read (and a ``False``
+    # is not re-interpreted) by the per-corpus calls.
+    cache = ResultCache.resolve(cache)
+    if cache is None:
+        cache = False
+    with as_runner(workers) as runner:
+        qoe = {
+            corpus_name: evaluate_protocols(
+                video, traces, protocols, chunk_indexed,
+                workers=runner, cache=cache,
+            )
+            for corpus_name, traces in corpora.items()
+        }
     experiment = AbrCdfExperiment(qoe=qoe)
     for other, targeted, corpus_name in ratio_pairs:
         experiment.ratios[(other, targeted, corpus_name)] = qoe_ratio_summary(
@@ -155,6 +202,8 @@ def run_robustness_experiment(
     n_envs: int = 1,
     vec_backend: str = "sync",
     trace_seed: int | None = None,
+    workers: "int | ParallelMap | None" = None,
+    cache: "ResultCache | str | bool | None" = None,
 ) -> RobustnessExperiment:
     """The Figure 4 pipeline with a shared training prefix.
 
@@ -168,15 +217,26 @@ def run_robustness_experiment(
     ``trace_seed`` makes each generated adversarial trace independently
     reproducible instead of depending on the adversary trainer's leftover
     generator state.
+
+    ``workers``/``cache`` accelerate the evaluation sessions -- the part
+    of the pipeline that replays every variant over every test set -- via
+    :func:`evaluate_protocols`, and (with ``trace_seed`` set, which makes
+    rollouts independent) ``workers`` also parallelizes adversarial trace
+    generation.  Neither changes any result.
     """
     fractions = sorted(switch_fractions)
     if any(not 0.0 < f < 1.0 for f in fractions):
         raise ValueError("switch fractions must be in (0, 1)")
+    cache = ResultCache.resolve(cache)
+    if cache is None:
+        cache = False
 
-    def evaluate(agent) -> dict[str, tuple[float, float]]:
+    def evaluate(agent, runner) -> dict[str, tuple[float, float]]:
         out = {}
         for name, traces in test_sets.items():
-            qoes = [run_session(video, t, agent).qoe_mean for t in traces]
+            qoes = evaluate_protocols(
+                video, traces, {"agent": agent}, workers=runner, cache=cache
+            )["agent"]
             out[name] = (float(np.mean(qoes)), percentile(qoes, 5))
         return out
 
@@ -196,28 +256,30 @@ def run_robustness_experiment(
         snapshots[frac] = copy.deepcopy(line)
     baseline = continue_training(line, total_steps - steps_done)
 
-    qoe = {"without": evaluate(baseline.agent)}
-    trace_counts = {}
-    for frac in fractions:
-        snapshot = snapshots[frac]
-        frozen = copy.deepcopy(snapshot.agent)
-        adversary = train_abr_adversary(
-            frozen, video, total_steps=adversary_steps, seed=seed + 17,
-            config=copy.deepcopy(adversary_config), n_envs=n_envs,
-            vec_backend=vec_backend,
-        )
-        rolls = generate_abr_traces(
-            adversary.trainer, adversary.env, n_adversarial_traces,
-            seed=trace_seed,
-        )
-        robust = continue_training(
-            snapshot,
-            total_steps - int(total_steps * frac),
-            new_traces=[r.trace for r in rolls],
-        )
-        label = f"adv@{int(frac * 100)}%"
-        qoe[label] = evaluate(robust.agent)
-        trace_counts[label] = len(rolls)
+    with as_runner(workers) as runner:
+        qoe = {"without": evaluate(baseline.agent, runner)}
+        trace_counts = {}
+        for frac in fractions:
+            snapshot = snapshots[frac]
+            frozen = copy.deepcopy(snapshot.agent)
+            adversary = train_abr_adversary(
+                frozen, video, total_steps=adversary_steps, seed=seed + 17,
+                config=copy.deepcopy(adversary_config), n_envs=n_envs,
+                vec_backend=vec_backend,
+            )
+            rolls = generate_abr_traces(
+                adversary.trainer, adversary.env, n_adversarial_traces,
+                seed=trace_seed,
+                workers=runner if trace_seed is not None else 0,
+            )
+            robust = continue_training(
+                snapshot,
+                total_steps - int(total_steps * frac),
+                new_traces=[r.trace for r in rolls],
+            )
+            label = f"adv@{int(frac * 100)}%"
+            qoe[label] = evaluate(robust.agent, runner)
+            trace_counts[label] = len(rolls)
     return RobustnessExperiment(
         train_set=train_set_name, qoe=qoe, adversarial_trace_count=trace_counts
     )

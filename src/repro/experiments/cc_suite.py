@@ -7,9 +7,14 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.adversary.cc_env import CcAdversaryEnv
-from repro.adversary.generation import CcRollout, rollout_cc_adversary
-from repro.cc.metrics import CcRunResult, run_sender_on_trace
+from repro.adversary.generation import (
+    CcRollout,
+    generate_cc_traces,
+    rollout_cc_adversary,
+)
+from repro.cc.metrics import CcRunResult, run_sender_on_traces
 from repro.cc.protocols.bbr import BBRSender
+from repro.exec import ParallelMap, ResultCache, as_runner
 from repro.rl.ppo import PPO
 
 __all__ = ["BbrAdversarialExperiment", "run_bbr_adversarial_experiment"]
@@ -43,34 +48,40 @@ def run_bbr_adversarial_experiment(
     n_replay: int = 5,
     replay_seed: int = 1000,
     rollout_seed: int | None = None,
+    workers: "int | ParallelMap | None" = None,
+    cache: "ResultCache | str | bool | None" = None,
 ) -> BbrAdversarialExperiment:
     """Roll out a trained CC adversary and quantify BBR's degradation.
 
     ``rollout_seed`` gives every online rollout its own generator spawned
     from one ``np.random.SeedSequence``, making the Figure 5/6 series
-    reproducible regardless of the trainer's leftover generator state.
+    reproducible regardless of the trainer's leftover generator state --
+    and independent, so with it set ``workers`` fans the online rollouts
+    over a process pool (without it they stay serial: their noise shares
+    the trainer's generator).  The trace replays are always independent;
+    ``workers`` parallelizes and ``cache`` memoizes them.  The
+    deterministic Figure 6 rollout runs in-process so the attacked
+    sender's probing log stays inspectable.  All outputs are identical to
+    the serial uncached run.
     """
     n_rollouts = max(n_online, n_replay)
-    if rollout_seed is None:
-        rngs = [None] * n_rollouts
-    else:
-        rngs = [
-            np.random.default_rng(c)
-            for c in np.random.SeedSequence(rollout_seed).spawn(n_rollouts)
-        ]
-    online = [
-        rollout_cc_adversary(
-            trainer, env, deterministic=False, name=f"adv-cc-{i}", rng=rngs[i]
+    cache = ResultCache.resolve(cache)
+    with as_runner(workers) as runner:
+        online = generate_cc_traces(
+            trainer, env, n_rollouts, deterministic=False,
+            names=[f"adv-cc-{i}" for i in range(n_rollouts)], seed=rollout_seed,
+            workers=runner if rollout_seed is not None else 0,
         )
-        for i in range(n_rollouts)
-    ]
-    fractions = [r.capacity_fraction for r in online[:n_online]]
-    replayed = [
-        run_sender_on_trace(BBRSender(), roll.trace, seed=replay_seed + i)
-        for i, roll in enumerate(online[:n_replay])
-    ]
+        fractions = [r.capacity_fraction for r in online[:n_online]]
+        replayed = run_sender_on_traces(
+            BBRSender,
+            [roll.trace for roll in online[:n_replay]],
+            seeds=[replay_seed + i for i in range(n_replay)],
+            workers=runner,
+            cache=cache if cache is not None else False,
+        )
 
-    deterministic = rollout_cc_adversary(trainer, env, deterministic=True)
+        deterministic = rollout_cc_adversary(trainer, env, deterministic=True)
     sender = env.sender
     probe_times = [t for t, mode in sender.mode_log if mode == BBRSender.PROBE_RTT]
 

@@ -74,32 +74,38 @@ class Dense:
 
 
 class Activation:
-    """An elementwise activation with a cached-forward backward pass."""
+    """An elementwise activation with a cached-forward backward pass.
+
+    Each activation's gradient depends on exactly one of the forward
+    tensors -- tanh and sigmoid on the *output* ``y``, relu and linear on
+    the *input* ``x`` -- so only that tensor is retained after
+    :meth:`forward` (half the cached activation memory of keeping both,
+    which adds up across every policy/value forward of a trace rollout).
+    """
 
     def __init__(self, name: str) -> None:
         if name not in ACTIVATIONS:
             raise ValueError(f"unknown activation {name!r}; choose from {sorted(ACTIVATIONS)}")
         self.name = name
-        self._fwd, self._grad = ACTIVATIONS[name]
-        self._y: np.ndarray | None = None
-        self._x: np.ndarray | None = None
+        self._fwd, self._grad, self._keep = ACTIVATIONS[name]
+        self._cached: np.ndarray | None = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        self._x = x
-        self._y = self._fwd(x)
-        return self._y
+        y = self._fwd(x)
+        self._cached = x if self._keep == "x" else y
+        return y
 
     def backward(self, dout: np.ndarray) -> np.ndarray:
-        if self._y is None or self._x is None:
+        if self._cached is None:
             raise RuntimeError("backward called before forward")
-        return dout * self._grad(self._x, self._y)
+        return dout * self._grad(self._cached)
 
 
-def _tanh_grad(_x: np.ndarray, y: np.ndarray) -> np.ndarray:
+def _tanh_grad(y: np.ndarray) -> np.ndarray:
     return 1.0 - y * y
 
 
-def _relu_grad(x: np.ndarray, _y: np.ndarray) -> np.ndarray:
+def _relu_grad(x: np.ndarray) -> np.ndarray:
     return (x > 0.0).astype(x.dtype)
 
 
@@ -112,7 +118,7 @@ def _sigmoid(x: np.ndarray) -> np.ndarray:
     return out
 
 
-def _sigmoid_grad(_x: np.ndarray, y: np.ndarray) -> np.ndarray:
+def _sigmoid_grad(y: np.ndarray) -> np.ndarray:
     return y * (1.0 - y)
 
 
@@ -120,13 +126,18 @@ def _identity(x: np.ndarray) -> np.ndarray:
     return x
 
 
-def _identity_grad(x: np.ndarray, _y: np.ndarray) -> np.ndarray:
+def _identity_grad(x: np.ndarray) -> np.ndarray:
     return np.ones_like(x)
 
 
-ACTIVATIONS: dict[str, tuple[Callable[[np.ndarray], np.ndarray], Callable]] = {
-    "tanh": (np.tanh, _tanh_grad),
-    "relu": (lambda x: np.maximum(x, 0.0), _relu_grad),
-    "sigmoid": (_sigmoid, _sigmoid_grad),
-    "linear": (_identity, _identity_grad),
+def _relu(x: np.ndarray) -> np.ndarray:
+    return np.maximum(x, 0.0)
+
+
+#: name -> (forward, gradient-from-cached-tensor, which tensor to cache).
+ACTIVATIONS: dict[str, tuple[Callable[[np.ndarray], np.ndarray], Callable, str]] = {
+    "tanh": (np.tanh, _tanh_grad, "y"),
+    "relu": (_relu, _relu_grad, "x"),
+    "sigmoid": (_sigmoid, _sigmoid_grad, "y"),
+    "linear": (_identity, _identity_grad, "x"),
 }

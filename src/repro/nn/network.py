@@ -57,8 +57,15 @@ class MLP:
         return self.sizes[-1]
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        """Run the network on a batch ``(n, in_dim)`` and return ``(n, out_dim)``."""
-        x = np.atleast_2d(np.asarray(x, dtype=float))
+        """Run the network on a batch ``(n, in_dim)`` and return ``(n, out_dim)``.
+
+        A 2-D float64 array is used as-is (no copy) -- this is the shape
+        every ``predict`` call in a trace rollout already supplies, so the
+        conversion below only runs for lists, scalars-in-1-D and other
+        dtypes.
+        """
+        if not (isinstance(x, np.ndarray) and x.ndim == 2 and x.dtype == np.float64):
+            x = np.atleast_2d(np.asarray(x, dtype=float))
         if x.shape[1] != self.in_dim:
             raise ValueError(f"expected input dim {self.in_dim}, got {x.shape[1]}")
         for layer in self._stack:
@@ -107,3 +114,19 @@ class MLP:
 
     def num_parameters(self) -> int:
         return sum(p.size for p in self.parameters())
+
+    def __cache_state__(self) -> dict:
+        """Identity for content-addressed caching: architecture + weights.
+
+        Cached forward activations and accumulated gradients are run
+        artifacts, not identity, so they are deliberately excluded (see
+        :func:`repro.exec.cache.fingerprint`).
+        """
+        return {
+            "sizes": self.sizes,
+            "layers": [
+                layer.name if isinstance(layer, Activation) else "dense"
+                for layer in self._stack
+            ],
+            "weights": self.parameters(),
+        }

@@ -188,6 +188,23 @@ class Trace:
             duration=self.duration,
         )
 
+    # -- caching ----------------------------------------------------------------------
+
+    def __cache_state__(self) -> dict:
+        """Content identity for :mod:`repro.exec.cache`: the samples only.
+
+        ``name`` is a display label -- renaming a trace must not change
+        what any session replayed over it computes, so it is excluded
+        from cache keys.
+        """
+        return {
+            "timestamps": self.timestamps,
+            "bandwidths_mbps": self.bandwidths_mbps,
+            "latencies_ms": self.latencies_ms,
+            "loss_rates": self.loss_rates,
+            "duration": self.duration,
+        }
+
     # -- persistence -------------------------------------------------------------------
 
     def to_dict(self) -> dict:

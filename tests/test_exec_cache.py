@@ -1,0 +1,202 @@
+"""Tests for the content-addressed result cache (repro.exec.cache)."""
+
+import numpy as np
+import pytest
+
+from repro.exec import CACHE_DIR_ENV, ResultCache, fingerprint, make_key
+from repro.nn.network import MLP
+from repro.traces.trace import Trace
+
+
+class TestStoreRoundtrip:
+    def test_put_then_lookup(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("abcd", {"qoe": 1.5})
+        hit, value = cache.lookup("abcd")
+        assert hit and value == {"qoe": 1.5}
+        assert len(cache) == 1
+
+    def test_missing_key_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        hit, value = cache.lookup("nope")
+        assert not hit and value is None
+        assert cache.get("nope", default="fallback") == "fallback"
+
+    def test_overwrite_keeps_entry_count(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("k", 1)
+        cache.put("k", 2)
+        assert cache.get("k") == 2
+        assert len(cache) == 1
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        for i in range(5):
+            cache.put(f"key{i}", i)
+        assert not list(tmp_path.rglob("*.tmp"))
+
+    def test_entries_survive_reopen(self, tmp_path):
+        ResultCache(tmp_path).put("k", "v")
+        reopened = ResultCache(tmp_path)
+        assert len(reopened) == 1
+        assert reopened.get("k") == "v"
+
+
+class TestCorruptionTolerance:
+    def test_garbage_entry_is_a_miss_and_removed(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("dead", 42)
+        cache._path("dead").write_bytes(b"not a pickle")
+        hit, value = cache.lookup("dead")
+        assert not hit and value is None
+        assert cache.errors == 1
+        assert not cache._path("dead").exists()  # dropped, not re-parsed forever
+
+    def test_truncated_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("trunc", list(range(100)))
+        path = cache._path("trunc")
+        path.write_bytes(path.read_bytes()[:10])
+        hit, _value = cache.lookup("trunc")
+        assert not hit
+
+    def test_entry_under_wrong_key_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("aaaa", "for-aaaa")
+        other = cache._path("bbbb")
+        other.parent.mkdir(parents=True, exist_ok=True)
+        other.write_bytes(cache._path("aaaa").read_bytes())
+        hit, _value = cache.lookup("bbbb")
+        assert not hit and cache.errors == 1
+
+
+class TestCounters:
+    def test_hits_misses_and_summary(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("x", 1)
+        cache.lookup("x")
+        cache.lookup("y")
+        assert cache.stats() == {
+            "hits": 1, "misses": 1, "stores": 1,
+            "evictions": 0, "errors": 0, "entries": 1,
+        }
+        assert cache.hit_rate() == 0.5
+        assert "1 hits" in cache.summary() and "50%" in cache.summary()
+
+    def test_hit_rate_with_no_traffic(self, tmp_path):
+        assert ResultCache(tmp_path).hit_rate() == 0.0
+
+    def test_get_or_compute(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        calls = []
+        assert cache.get_or_compute("k", lambda: calls.append(1) or 7) == 7
+        assert cache.get_or_compute("k", lambda: calls.append(1) or 9) == 7
+        assert len(calls) == 1
+
+
+class TestEviction:
+    def test_oldest_entries_evicted_past_the_bound(self, tmp_path):
+        import os
+
+        cache = ResultCache(tmp_path, max_entries=2)
+        for i, key in enumerate(["old", "mid"]):
+            cache.put(key, i)
+            # mtime granularity can be coarse; force a strict ordering.
+            os.utime(cache._path(key), (1000 + i, 1000 + i))
+        cache.put("new", 2)
+        assert cache.evictions == 1
+        assert len(cache) == 2
+        assert not cache.lookup("old")[0]  # oldest went first
+        assert cache.get("new") == 2
+
+    def test_nonpositive_bound_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            ResultCache(tmp_path, max_entries=0)
+
+    def test_clear(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.clear() == 2
+        assert len(cache) == 0
+        assert not cache.lookup("a")[0]
+
+
+class TestResolve:
+    def test_false_disables(self):
+        assert ResultCache.resolve(False) is None
+
+    def test_none_reads_env(self, tmp_path, monkeypatch):
+        monkeypatch.delenv(CACHE_DIR_ENV, raising=False)
+        assert ResultCache.resolve(None) is None
+        monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path / "envcache"))
+        cache = ResultCache.resolve(None)
+        assert isinstance(cache, ResultCache)
+        assert cache.root == tmp_path / "envcache"
+
+    def test_path_and_instance(self, tmp_path):
+        by_path = ResultCache.resolve(str(tmp_path))
+        assert isinstance(by_path, ResultCache)
+        assert ResultCache.resolve(by_path) is by_path
+
+
+class TestFingerprint:
+    def test_deterministic_and_type_sensitive(self):
+        assert fingerprint(1, "a", 2.5) == fingerprint(1, "a", 2.5)
+        assert fingerprint(1) != fingerprint(1.0)
+        assert fingerprint("1") != fingerprint(1)
+        assert fingerprint(b"x") != fingerprint("x")
+        assert fingerprint(True) != fingerprint(1)
+
+    def test_arrays_hash_by_dtype_shape_and_bytes(self):
+        a = np.arange(6, dtype=np.float64)
+        assert fingerprint(a) == fingerprint(a.copy())
+        assert fingerprint(a) != fingerprint(a.reshape(2, 3))
+        assert fingerprint(a) != fingerprint(a.astype(np.float32))
+        b = a.copy()
+        b[0] = -1.0
+        assert fingerprint(a) != fingerprint(b)
+
+    def test_dict_insertion_order_is_irrelevant(self):
+        assert fingerprint({"a": 1, "b": 2}) == fingerprint({"b": 2, "a": 1})
+
+    def test_generator_state_is_identity(self):
+        a = np.random.default_rng(0)
+        b = np.random.default_rng(0)
+        assert fingerprint(a) == fingerprint(b)
+        b.random()  # advancing the stream changes the fingerprint
+        assert fingerprint(a) != fingerprint(b)
+
+    def test_trace_name_is_excluded(self):
+        bw = np.array([1.0, 2.0, 3.0])
+        t1 = Trace.from_steps(bw, 4.0, name="anti-mpc-000")
+        t2 = Trace.from_steps(bw, 4.0, name="renamed")
+        assert fingerprint(t1) == fingerprint(t2)
+        t3 = Trace.from_steps(bw * 2, 4.0, name="anti-mpc-000")
+        assert fingerprint(t1) != fingerprint(t3)
+
+    def test_mlp_hashes_by_weights_not_run_artifacts(self):
+        net = MLP((3, 4, 2), np.random.default_rng(0))
+        before = fingerprint(net)
+        net.forward(np.zeros((2, 3)))  # populates private caches
+        assert fingerprint(net) == before
+        net.parameters()[0][0, 0] += 1.0
+        assert fingerprint(net) != before
+
+    def test_private_attrs_skipped_generators_kept(self):
+        class Thing:
+            def __init__(self, rng_seed):
+                self.value = 1
+                self._scratch = object()  # unfingerprintable, must be skipped
+                self._rng = np.random.default_rng(rng_seed)
+
+        assert fingerprint(Thing(0)) == fingerprint(Thing(0))
+        assert fingerprint(Thing(0)) != fingerprint(Thing(1))
+
+    def test_unfingerprintable_object_raises(self):
+        with pytest.raises(TypeError):
+            fingerprint(object())
+
+    def test_make_key_namespaces(self):
+        assert make_key("abr", 1) != make_key("cc", 1)
+        assert len(make_key("abr", 1)) == 64  # hex sha256

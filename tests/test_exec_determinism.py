@@ -1,0 +1,157 @@
+"""Bitwise-identity tests: parallel and cached paths vs the serial loop.
+
+The contract of :mod:`repro.exec` is that worker count and cache state
+are pure performance knobs -- every figure of the paper must come out
+identical whether it was computed serially, across processes, or served
+from a warm cache.  These tests pin that contract at the public entry
+points rather than the runner internals.
+"""
+
+import copy
+
+import numpy as np
+import pytest
+
+from repro.abr.protocols import MPC, BufferBased
+from repro.abr.video import Video
+from repro.adversary import (
+    generate_abr_traces,
+    generate_cc_traces,
+    train_abr_adversary,
+    train_cc_adversary,
+)
+from repro.cc import BBRSender
+from repro.cc.metrics import run_sender_on_traces
+from repro.exec import ResultCache
+from repro.experiments.abr_suite import evaluate_protocols
+from repro.rl.ppo import PPOConfig
+from repro.traces.random_traces import random_abr_traces, random_cc_traces
+
+
+@pytest.fixture(scope="module")
+def abr_eval_setup():
+    video = Video.synthetic(n_chunks=10, seed=0)
+    traces = random_abr_traces(4, seed=0, n_segments=10)
+    protocols = {"bb": BufferBased(), "mpc": MPC()}
+    return video, traces, protocols
+
+
+@pytest.fixture(scope="module")
+def abr_adversary():
+    video = Video.synthetic(n_chunks=10, seed=0)
+    cfg = PPOConfig(n_steps=64, batch_size=32, hidden=(8,))
+    return train_abr_adversary(
+        BufferBased(), video, total_steps=128, seed=0, config=cfg
+    )
+
+
+@pytest.fixture(scope="module")
+def cc_adversary():
+    cfg = PPOConfig(n_steps=64, batch_size=32, hidden=(4,))
+    return train_cc_adversary(
+        BBRSender, total_steps=128, seed=0, config=cfg, episode_intervals=25
+    )
+
+
+class TestEvaluateProtocolsIdentity:
+    def test_worker_count_does_not_change_results(self, abr_eval_setup):
+        video, traces, protocols = abr_eval_setup
+        serial = evaluate_protocols(video, traces, protocols, workers=0)
+        for n_workers in (1, 2, 4):
+            parallel = evaluate_protocols(
+                video, traces, protocols, workers=n_workers
+            )
+            assert parallel == serial  # float-exact, not approx
+
+    def test_warm_cache_returns_cold_run_values(self, abr_eval_setup, tmp_path):
+        video, traces, protocols = abr_eval_setup
+        uncached = evaluate_protocols(video, traces, protocols, workers=0)
+        cache = ResultCache(tmp_path)
+        cold = evaluate_protocols(
+            video, traces, protocols, workers=0, cache=cache
+        )
+        warm = evaluate_protocols(
+            video, traces, protocols, workers=0, cache=cache
+        )
+        assert cold == uncached
+        assert warm == uncached
+        n_sessions = len(traces) * len(protocols)
+        assert cache.hits == n_sessions  # second pass fully served
+        assert cache.misses == n_sessions
+
+    def test_parallel_and_cached_compose(self, abr_eval_setup, tmp_path):
+        video, traces, protocols = abr_eval_setup
+        serial = evaluate_protocols(video, traces, protocols, workers=0)
+        cache = ResultCache(tmp_path)
+        mixed = evaluate_protocols(
+            video, traces, protocols, workers=2, cache=cache
+        )
+        assert mixed == serial
+
+
+class TestTraceGenerationIdentity:
+    def test_abr_corpus_identical_across_worker_counts(self, abr_adversary):
+        result = abr_adversary
+        serial = generate_abr_traces(
+            result.trainer, result.env, 4, seed=123, workers=0
+        )
+        for n_workers in (2, 4):
+            parallel = generate_abr_traces(
+                result.trainer, result.env, 4, seed=123, workers=n_workers
+            )
+            for s, p in zip(serial, parallel):
+                assert s.trace.name == p.trace.name
+                np.testing.assert_array_equal(
+                    s.trace.bandwidths_mbps, p.trace.bandwidths_mbps
+                )
+                assert s.target_qoe_mean == p.target_qoe_mean
+                assert s.adversary_return == p.adversary_return
+                assert s.qualities == p.qualities
+
+    def test_abr_parallel_stochastic_requires_seed(self, abr_adversary):
+        result = abr_adversary
+        with pytest.raises(ValueError, match="seed"):
+            generate_abr_traces(result.trainer, result.env, 2, workers=2)
+
+    def test_cc_corpus_identical_and_episode_counter_advances(self, cc_adversary):
+        result = cc_adversary
+        env_serial = copy.deepcopy(result.env)
+        env_parallel = copy.deepcopy(result.env)
+        serial = generate_cc_traces(
+            result.trainer, env_serial, 3, seed=5, workers=0
+        )
+        parallel = generate_cc_traces(
+            result.trainer, env_parallel, 3, seed=5, workers=2
+        )
+        for s, p in zip(serial, parallel):
+            np.testing.assert_array_equal(
+                s.trace.bandwidths_mbps, p.trace.bandwidths_mbps
+            )
+            np.testing.assert_array_equal(s.raw_actions, p.raw_actions)
+            assert s.capacity_fraction == p.capacity_fraction
+            assert s.adversary_return == p.adversary_return
+        # Each rollout consumes one emulator-seed episode; both paths must
+        # leave the caller's env at the same counter.
+        assert env_parallel._episode == env_serial._episode
+
+
+class TestCcReplayIdentity:
+    def test_replays_identical_serial_parallel_cached(self, tmp_path):
+        traces = random_cc_traces(3, seed=0, n_segments=60)
+        seeds = [100, 101, 102]
+        serial = run_sender_on_traces(BBRSender, traces, seeds, workers=0)
+        parallel = run_sender_on_traces(BBRSender, traces, seeds, workers=2)
+        cache = ResultCache(tmp_path)
+        cold = run_sender_on_traces(BBRSender, traces, seeds, cache=cache)
+        warm = run_sender_on_traces(BBRSender, traces, seeds, cache=cache)
+        for variant in (parallel, cold, warm):
+            for s, v in zip(serial, variant):
+                assert s.mean_throughput_mbps == v.mean_throughput_mbps
+                assert s.capacity_fraction == v.capacity_fraction
+                assert s.loss_fraction == v.loss_fraction
+        assert cache.hits == len(traces)
+
+    def test_seed_count_mismatch_raises(self):
+        traces = random_cc_traces(2, seed=0, n_segments=30)
+        with pytest.raises(ValueError):
+            run_sender_on_traces(BBRSender, traces, seeds=[1])

@@ -1,0 +1,195 @@
+"""Tests for the ordered parallel runner (repro.exec.runner)."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.exec import (
+    ParallelMap,
+    RemoteTraceback,
+    ResultCache,
+    as_runner,
+    cached_map,
+    resolve_workers,
+    spawn_rngs,
+    spawn_seeds,
+)
+from repro.exec.runner import WORKERS_ENV
+
+
+def _square(task):
+    return task * task
+
+
+def _append_marker(task):
+    task.append("ran")
+    return task
+
+
+def _sleep_then_ident(task):
+    idx, delay = task
+    time.sleep(delay)
+    return idx
+
+
+def _fail_on_three(task):
+    if task == 3:
+        raise ValueError("boom 3")
+    return task
+
+
+class _UnpicklableError(Exception):
+    def __init__(self):
+        super().__init__("bad")
+        self.payload = lambda: None  # lambdas do not pickle
+
+
+def _raise_unpicklable(task):
+    raise _UnpicklableError()
+
+
+class TestResolveWorkers:
+    def test_default_is_serial(self, monkeypatch):
+        monkeypatch.delenv(WORKERS_ENV, raising=False)
+        assert resolve_workers(None) == 0
+
+    def test_env_var_supplies_default(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "3")
+        assert resolve_workers(None) == 3
+        assert resolve_workers(0) == 0  # explicit value wins
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            resolve_workers(-1)
+
+
+class TestSpawning:
+    def test_unseeded_gives_nones(self):
+        assert spawn_seeds(None, 3) == [None] * 3
+        assert spawn_rngs(None, 3) == [None] * 3
+
+    def test_seeded_is_deterministic_and_independent(self):
+        a = spawn_seeds(42, 4)
+        b = spawn_seeds(42, 4)
+        assert a == b
+        assert len(set(a)) == 4
+        draws = [r.random() for r in spawn_rngs(42, 4)]
+        assert len(set(draws)) == 4
+        again = [r.random() for r in spawn_rngs(42, 4)]
+        assert draws == again
+
+
+class TestParallelMap:
+    def test_serial_runs_on_callers_objects(self):
+        task = []
+        with ParallelMap(0) as runner:
+            assert not runner.parallel
+            (result,) = runner.map(_append_marker, [task])
+        assert result is task  # no pickling round trip
+        assert task == ["ran"]
+
+    def test_one_worker_is_serial(self):
+        with ParallelMap(1) as runner:
+            assert not runner.parallel
+
+    def test_parallel_results_in_submission_order(self):
+        # Later submissions finish first; order must still be preserved.
+        tasks = [(i, (4 - i) * 0.02) for i in range(5)]
+        with ParallelMap(2) as runner:
+            assert runner.parallel
+            assert runner.map(_sleep_then_ident, tasks) == [0, 1, 2, 3, 4]
+
+    def test_parallel_matches_serial(self):
+        tasks = list(range(10))
+        with ParallelMap(2) as runner:
+            assert runner.map(_square, tasks) == [t * t for t in tasks]
+
+    def test_pool_persists_across_maps(self):
+        with ParallelMap(2) as runner:
+            runner.map(_square, [1, 2])
+            pool = runner._executor
+            runner.map(_square, [3, 4])
+            assert runner._executor is pool
+
+    def test_remote_error_reraised_with_traceback(self):
+        with ParallelMap(2) as runner:
+            with pytest.raises(ValueError, match="boom 3") as excinfo:
+                runner.map(_fail_on_three, [1, 2, 3, 4])
+        cause = excinfo.value.__cause__
+        assert isinstance(cause, RemoteTraceback)
+        assert "boom 3" in cause.tb
+
+    def test_unpicklable_remote_error_degrades_to_runtimeerror(self):
+        with ParallelMap(2) as runner:
+            with pytest.raises(RuntimeError, match="_UnpicklableError"):
+                runner.map(_raise_unpicklable, [1])
+
+    def test_serial_error_propagates_natively(self):
+        with ParallelMap(0) as runner:
+            with pytest.raises(ValueError, match="boom 3"):
+                runner.map(_fail_on_three, [3])
+
+
+class TestAsRunner:
+    def test_borrowed_runner_left_open(self):
+        owner = ParallelMap(2)
+        try:
+            owner.map(_square, [1])
+            with as_runner(owner) as runner:
+                assert runner is owner
+            assert owner._executor is not None  # still usable by its owner
+            assert owner.map(_square, [5]) == [25]
+        finally:
+            owner.close()
+
+    def test_temporary_runner_closed_on_exit(self):
+        with as_runner(2) as runner:
+            runner.map(_square, [1, 2])
+        assert runner._executor is None
+
+
+class TestCachedMap:
+    def test_no_cache_computes_everything(self):
+        with ParallelMap(0) as runner:
+            assert cached_map(_square, [2, 3], runner) == [4, 9]
+
+    def test_hits_skip_computation_and_order_is_kept(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        keys = ["k0", "k1", "k2"]
+        cache.put("k1", -1)  # pre-seed the middle task with a sentinel
+        with ParallelMap(0) as runner:
+            out = cached_map(_square, [5, 6, 7], runner, cache=cache, keys=keys)
+        assert out == [25, -1, 49]
+        assert cache.hits == 1 and cache.misses == 2
+        assert cache.stores == 3  # the pre-seed plus the two misses
+
+    def test_second_pass_is_all_hits(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        keys = ["a", "b"]
+        with ParallelMap(0) as runner:
+            first = cached_map(_square, [2, 3], runner, cache=cache, keys=keys)
+            second = cached_map(_square, [2, 3], runner, cache=cache, keys=keys)
+        assert first == second == [4, 9]
+        assert cache.hits == 2 and cache.misses == 2
+
+    def test_key_count_mismatch_raises(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        with ParallelMap(0) as runner:
+            with pytest.raises(ValueError):
+                cached_map(_square, [1, 2], runner, cache=cache, keys=["only-one"])
+
+
+class TestRngPayloads:
+    def test_rngs_survive_the_worker_round_trip(self):
+        # Generators are part of task payloads in trace generation; the
+        # pickled copy must produce the same stream as the original.
+        rngs = spawn_rngs(7, 3)
+        expected = [r.random() for r in spawn_rngs(7, 3)]
+        with ParallelMap(2) as runner:
+            got = runner.map(_draw_one, rngs)
+        assert got == expected
+
+
+def _draw_one(rng):
+    return rng.random()

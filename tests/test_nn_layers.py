@@ -112,3 +112,19 @@ class TestActivations:
         act = Activation("relu")
         out = act.forward(np.array([[-1.0, 2.0]]))
         np.testing.assert_array_equal(out, [[0.0, 2.0]])
+
+    def test_backward_before_forward_raises(self):
+        with pytest.raises(RuntimeError):
+            Activation("tanh").backward(np.ones((1, 2)))
+
+    @pytest.mark.parametrize("name,keeps", [
+        ("tanh", "y"), ("sigmoid", "y"), ("relu", "x"), ("linear", "x"),
+    ])
+    def test_only_the_tensor_the_gradient_needs_is_kept(self, name, keeps, rng):
+        act = Activation(name)
+        x = rng.standard_normal((3, 4))
+        y = act.forward(x)
+        if keeps == "y":
+            assert act._cached is y
+        else:
+            assert act._cached is x

@@ -80,3 +80,28 @@ class TestMLP:
         net = MLP((6, 16, 4), rng, out_gain=0.01)
         out = net.forward(rng.standard_normal((10, 6)))
         assert np.max(np.abs(out)) < 0.5
+
+
+class TestForwardFastPath:
+    """A 2-D float64 batch must enter the network without a copy."""
+
+    def test_no_copy_for_batch_float64(self, rng):
+        net = MLP((4, 3), rng)
+        x = rng.standard_normal((5, 4))  # already (n, in_dim) float64
+        net.forward(x)
+        assert net._stack[0]._x is x  # the Dense layer cached x itself
+
+    def test_conversion_still_happens_when_needed(self, rng):
+        net = MLP((4, 3), rng)
+        as_list = [[1.0, 2.0, 3.0, 4.0]]
+        one_d = np.array([1.0, 2.0, 3.0, 4.0])
+        f32 = np.array(as_list, dtype=np.float32)
+        reference = net.forward(np.array(as_list))
+        for variant in (as_list, one_d, f32):
+            np.testing.assert_array_equal(net.forward(variant), reference)
+            assert net._stack[0]._x is not variant
+
+    def test_fast_path_output_unchanged(self, rng):
+        net = MLP((6, 8, 2), rng)
+        x = rng.standard_normal((7, 6))
+        np.testing.assert_array_equal(net.forward(x), net.forward(x.tolist()))
