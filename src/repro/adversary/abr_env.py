@@ -39,6 +39,7 @@ from repro.abr.qoe import QoEWeights
 from repro.abr.simulator import ControlledBandwidth, StreamingSession
 from repro.abr.video import Video
 from repro.adversary.reward import AdversaryReward, LastActionSmoothing
+from repro.obs.metrics import MetricsRecorder
 from repro.rl.env import Env
 from repro.rl.ppo import PPO, PPOConfig
 from repro.rl.spaces import Box
@@ -318,6 +319,7 @@ def train_abr_adversary(
     goal: str = "qoe_regret",
     n_envs: int = 1,
     vec_backend: str = "sync",
+    recorder: MetricsRecorder | None = None,
 ) -> AbrAdversaryResult:
     """Train an adversary against a frozen ABR protocol.
 
@@ -329,7 +331,9 @@ def train_abr_adversary(
     and exploits the batched ``r_opt`` solver -- usually the faster choice
     here -- while ``"subproc"`` gives each copy a worker process and
     produces the same rollouts; its workers are shut down when training
-    completes, and the returned ``env`` is a fresh local instance.
+    completes (even when training raises), and the returned ``env`` is a
+    fresh local instance.  ``recorder`` receives the trainer's per-update
+    diagnostics (see :class:`~repro.rl.ppo.PPO`); it never alters results.
     """
     cfg = config or default_abr_adversary_config()
     if n_envs != 1 or vec_backend != "sync":
@@ -346,7 +350,7 @@ def train_abr_adversary(
             target, video, weights=weights, smoothing_weight=smoothing_weight,
             goal=goal,
         )
-        trainer = PPO(env, cfg, seed=seed)
+        trainer = PPO(env, cfg, seed=seed, recorder=recorder)
         history = trainer.learn(total_steps, callback=callback)
     else:
         vec: VecEnv
@@ -356,8 +360,11 @@ def train_abr_adversary(
         else:
             vec = SyncVecEnv([make_env] * cfg.n_envs)
             env = vec.envs[0]
-        trainer = PPO(vec, cfg, seed=seed)
-        history = trainer.learn(total_steps, callback=callback)
-        if cfg.vec_backend == "subproc":
-            vec.close()
+        try:
+            trainer = PPO(vec, cfg, seed=seed, recorder=recorder)
+            history = trainer.learn(total_steps, callback=callback)
+        finally:
+            # An exception mid-training must not strand forked workers.
+            if cfg.vec_backend == "subproc":
+                vec.close()
     return AbrAdversaryResult(trainer=trainer, env=env, history=history)

@@ -26,6 +26,7 @@ import numpy as np
 
 from repro.adversary.reward import AdversaryReward, EwmaSmoothing
 from repro.cc.link import TimeVaryingLink
+from repro.obs.metrics import MetricsRecorder
 from repro.cc.network import IntervalStats, PacketNetworkEmulator
 from repro.cc.protocols.base import Sender
 from repro.rl.env import Env
@@ -200,6 +201,7 @@ def train_cc_adversary(
     goal: str = "utilization",
     n_envs: int = 1,
     vec_backend: str = "sync",
+    recorder: MetricsRecorder | None = None,
 ) -> CcAdversaryResult:
     """Train an adversary against a congestion-control protocol.
 
@@ -216,8 +218,10 @@ def train_cc_adversary(
     (:class:`~repro.rl.vec_env.SubprocVecEnv`) -- the right choice here,
     since the CC env's cost is the per-packet event loop itself -- and
     produces the same rollouts as the default in-process backend; the
-    workers are shut down when training completes and the returned ``env``
-    is a fresh local instance with env 0's seed, ready for rollouts.
+    workers are shut down when training completes (even when training
+    raises) and the returned ``env`` is a fresh local instance with env
+    0's seed, ready for rollouts.  ``recorder`` receives the trainer's
+    per-update diagnostics (see :class:`~repro.rl.ppo.PPO`).
     """
     cfg = config or default_cc_adversary_config()
     if n_envs != 1 or vec_backend != "sync":
@@ -243,7 +247,7 @@ def train_cc_adversary(
             seed=seed,
             goal=goal,
         )
-        trainer = PPO(env, cfg, seed=seed)
+        trainer = PPO(env, cfg, seed=seed, recorder=recorder)
         history = trainer.learn(total_steps, callback=callback)
     else:
         children = np.random.SeedSequence(seed).spawn(cfg.n_envs)
@@ -255,8 +259,11 @@ def train_cc_adversary(
         else:
             vec = SyncVecEnv([make_env(s) for s in env_seeds])
             env = vec.envs[0]
-        trainer = PPO(vec, cfg, seed=seed)
-        history = trainer.learn(total_steps, callback=callback)
-        if cfg.vec_backend == "subproc":
-            vec.close()
+        try:
+            trainer = PPO(vec, cfg, seed=seed, recorder=recorder)
+            history = trainer.learn(total_steps, callback=callback)
+        finally:
+            # An exception mid-training must not strand forked workers.
+            if cfg.vec_backend == "subproc":
+                vec.close()
     return CcAdversaryResult(trainer=trainer, env=env, history=history)

@@ -26,6 +26,7 @@ from repro.abr.qoe import QoEWeights
 from repro.abr.video import Video
 from repro.adversary.abr_env import train_abr_adversary
 from repro.adversary.generation import generate_abr_traces
+from repro.obs.metrics import MetricsRecorder, NULL_RECORDER
 from repro.rl.ppo import PPOConfig
 from repro.traces.trace import Trace
 
@@ -58,41 +59,61 @@ def robustify_pensieve(
     config: PPOConfig | None = None,
     adversary_config: PPOConfig | None = None,
     weights: QoEWeights = QoEWeights(),
+    recorder: MetricsRecorder | None = None,
 ) -> RobustificationResult:
-    """Run the full four-step pipeline and return both trained agents."""
+    """Run the full four-step pipeline and return both trained agents.
+
+    ``recorder`` receives per-phase wall-clock timings plus the
+    adversary's per-update PPO diagnostics; inspecting the training
+    curves around the 70%/90% switch point is how the paper's schedule
+    is tuned.  Recording never alters any result.
+    """
     if not 0.0 < switch_fraction < 1.0:
         raise ValueError("switch_fraction must be in (0, 1)")
+    recorder = recorder if recorder is not None else NULL_RECORDER
     phase1 = int(total_steps * switch_fraction)
     phase2 = total_steps - phase1
 
     # (1) train the protocol up to the pause point.
-    partial = train_pensieve(
-        corpus, video, total_steps=phase1, seed=seed, config=config, weights=weights
-    )
+    recorder.event("robustify_phase", phase="train_protocol", steps=phase1)
+    with recorder.timer("robustify/train_protocol_seconds"):
+        partial = train_pensieve(
+            corpus, video, total_steps=phase1, seed=seed, config=config,
+            weights=weights,
+        )
 
     # Fork: the baseline arm finishes training on the unchanged corpus.
-    baseline = copy.deepcopy(partial)
-    baseline = continue_training(baseline, phase2)
+    with recorder.timer("robustify/baseline_arm_seconds"):
+        baseline = copy.deepcopy(partial)
+        baseline = continue_training(baseline, phase2)
 
     # (2) train an adversary against the frozen partially-trained model.
+    recorder.event("robustify_phase", phase="train_adversary",
+                   steps=adversary_steps)
     frozen_target = copy.deepcopy(partial.agent)
-    adversary = train_abr_adversary(
-        frozen_target,
-        video,
-        total_steps=adversary_steps,
-        seed=seed + 1,
-        config=adversary_config,
-        weights=weights,
-    )
+    with recorder.timer("robustify/train_adversary_seconds"):
+        adversary = train_abr_adversary(
+            frozen_target,
+            video,
+            total_steps=adversary_steps,
+            seed=seed + 1,
+            config=adversary_config,
+            weights=weights,
+            recorder=recorder,
+        )
 
     # (3) generate adversarial traces.
-    rollouts = generate_abr_traces(
-        adversary.trainer, adversary.env, n_adversarial_traces
-    )
+    with recorder.timer("robustify/generate_traces_seconds"):
+        rollouts = generate_abr_traces(
+            adversary.trainer, adversary.env, n_adversarial_traces
+        )
     adv_traces = [r.trace for r in rollouts]
+    recorder.record("robustify/adversarial_traces", len(adv_traces))
 
     # (4) resume the protocol's training on the augmented corpus.
-    robust = continue_training(partial, phase2, new_traces=adv_traces)
+    recorder.event("robustify_phase", phase="resume_augmented", steps=phase2)
+    with recorder.timer("robustify/resume_augmented_seconds"):
+        robust = continue_training(partial, phase2, new_traces=adv_traces)
 
     return RobustificationResult(
         baseline=baseline,

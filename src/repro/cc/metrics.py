@@ -118,6 +118,7 @@ def run_sender_on_traces(
     warmup_s: float = 0.0,
     workers=None,
     cache=None,
+    recorder=None,
 ) -> list[CcRunResult]:
     """Replay a corpus of traces, one fresh sender per trace.
 
@@ -126,7 +127,9 @@ def run_sender_on_traces(
     :class:`CcRunResult` under a digest of (sender construction state,
     trace samples, emulator seed, replay parameters, schema version).
     Results are in trace order and identical to calling
-    :func:`run_sender_on_trace` in a loop.
+    :func:`run_sender_on_trace` in a loop.  ``recorder`` (a
+    :class:`~repro.obs.MetricsRecorder`) observes the replay timing and
+    cache counters; it never changes results.
     """
     traces = list(traces)
     if len(seeds) != len(traces):
@@ -145,5 +148,8 @@ def run_sender_on_traces(
             )
             for trace, seed in zip(traces, seeds)
         ]
-    with as_runner(workers) as runner:
-        return cached_map(_replay_task, tasks, runner, cache=cache, keys=keys)
+    with as_runner(workers, recorder=recorder) as runner:
+        results = cached_map(_replay_task, tasks, runner, cache=cache, keys=keys)
+    if cache is not None and recorder is not None:
+        cache.record_metrics(recorder)
+    return results

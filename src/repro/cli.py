@@ -9,12 +9,21 @@ Usage examples::
         --traces-out anti_bbr.jsonl --n-traces 5
     python -m repro.cli evaluate-cc --traces anti_bbr.jsonl --sender bbr
     python -m repro.cli make-dataset --kind 3g --count 50 --out corpus.jsonl
+
+Every command accepts ``--log-dir`` (default ``$REPRO_LOG_DIR``): when
+set, the run writes a ``manifest.json`` (command, config, seed entropy,
+version, git SHA) plus a ``metrics.jsonl`` event log -- per-update PPO
+diagnostics for the training commands, evaluation/cache telemetry for
+the rest.  ``--quiet`` suppresses progress chatter while keeping result
+tables.  Neither flag changes any computed result.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
+from contextlib import contextmanager
 
 import numpy as np
 
@@ -28,6 +37,13 @@ from repro.cc import BBRSender, CubicSender, RenoSender
 from repro.cc.metrics import run_sender_on_traces
 from repro.exec import ResultCache, resolve_workers
 from repro.experiments.abr_suite import evaluate_protocols
+from repro.obs import (
+    Console,
+    LOG_DIR_ENV,
+    MetricsRecorder,
+    NULL_RECORDER,
+    RunManifest,
+)
 from repro.traces.io import load_corpus, save_corpus
 from repro.traces.synthetic import make_dataset
 
@@ -50,6 +66,39 @@ def _add_exec_args(p: argparse.ArgumentParser, cache: bool = True) -> None:
                        help="disable the result cache for this run")
 
 
+def _add_obs_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--log-dir", default=None,
+                   help="write manifest.json + metrics.jsonl to this directory "
+                        "(default: $REPRO_LOG_DIR; unset = no logging)")
+    p.add_argument("--quiet", action="store_true",
+                   help="suppress progress lines (result tables still print)")
+
+
+@contextmanager
+def _run_context(args: argparse.Namespace):
+    """Yield ``(recorder, console)`` for one CLI run.
+
+    Writes the run manifest up front when a log directory is configured
+    and closes the event log on the way out, success or failure.
+    """
+    log_dir = args.log_dir or os.environ.get(LOG_DIR_ENV)
+    recorder = MetricsRecorder(log_dir) if log_dir else NULL_RECORDER
+    console = Console(quiet=args.quiet, recorder=recorder)
+    if log_dir:
+        # log_dir/quiet steer observability, not the computation, so they
+        # stay out of the manifest (and hence the run fingerprint).
+        config = {k: v for k, v in vars(args).items()
+                  if k not in ("func", "command", "log_dir", "quiet")}
+        manifest = RunManifest.create(
+            args.command, config, seed=getattr(args, "seed", None)
+        )
+        console.info(f"run manifest: {manifest.write(log_dir)}")
+    try:
+        yield recorder, console
+    finally:
+        recorder.close()
+
+
 def _resolve_cache(args: argparse.Namespace) -> "ResultCache | bool | None":
     if args.no_cache:
         return False
@@ -58,138 +107,170 @@ def _resolve_cache(args: argparse.Namespace) -> "ResultCache | bool | None":
     return ResultCache.from_env()
 
 
-def _report_exec(cache, workers) -> None:
+def _report_exec(cache, workers, recorder, console: Console) -> None:
     """Post-run telemetry: what ran where, what was served from cache."""
     n = resolve_workers(workers)
-    print(f"workers: {n if n > 1 else 'serial'}")
+    console.info(f"workers: {n if n > 1 else 'serial'}")
     if isinstance(cache, ResultCache):
-        print(cache.summary())
+        cache.record_metrics(recorder)
+        console.info(cache.summary())
     else:
-        print("cache: disabled")
+        console.info("cache: disabled")
 
 
 def _cmd_train_abr_adversary(args: argparse.Namespace) -> int:
-    video = Video.synthetic(n_chunks=args.chunks, seed=args.video_seed)
-    target = _ABR_TARGETS[args.target]()
-    print(f"training adversary vs {args.target} for {args.steps} steps ...")
-    result = train_abr_adversary(
-        target, video, total_steps=args.steps, seed=args.seed,
-        smoothing_weight=args.smoothing_weight, goal=args.goal,
-    )
-    rewards = [h["mean_episode_reward"] for h in result.history]
-    print(f"adversary episode reward: {rewards[0]:.1f} -> {rewards[-1]:.1f}")
-    if args.out:
-        result.trainer.save(args.out)
-        print(f"saved adversary model to {args.out}")
-    if args.traces_out:
-        rolls = generate_abr_traces(
-            result.trainer, result.env, args.n_traces,
-            seed=args.trace_seed,
-            workers=args.workers if args.trace_seed is not None else 0,
+    with _run_context(args) as (recorder, console):
+        video = Video.synthetic(n_chunks=args.chunks, seed=args.video_seed)
+        target = _ABR_TARGETS[args.target]()
+        console.info(
+            f"training adversary vs {args.target} for {args.steps} steps ..."
         )
-        save_corpus([r.trace for r in rolls], args.traces_out)
-        qoe = float(np.mean([r.target_qoe_mean for r in rolls]))
-        print(f"wrote {args.n_traces} traces to {args.traces_out} "
-              f"(target mean QoE {qoe:.3f})")
+        with recorder.timer("cli/train_seconds"):
+            result = train_abr_adversary(
+                target, video, total_steps=args.steps, seed=args.seed,
+                smoothing_weight=args.smoothing_weight, goal=args.goal,
+                recorder=recorder,
+            )
+        rewards = [h["mean_episode_reward"] for h in result.history]
+        console.info(
+            f"adversary episode reward: {rewards[0]:.1f} -> {rewards[-1]:.1f}"
+        )
+        if args.out:
+            result.trainer.save(args.out)
+            console.info(f"saved adversary model to {args.out}")
+        if args.traces_out:
+            with recorder.timer("cli/generate_traces_seconds"):
+                rolls = generate_abr_traces(
+                    result.trainer, result.env, args.n_traces,
+                    seed=args.trace_seed,
+                    workers=args.workers if args.trace_seed is not None else 0,
+                )
+            save_corpus([r.trace for r in rolls], args.traces_out)
+            qoe = float(np.mean([r.target_qoe_mean for r in rolls]))
+            recorder.record("cli/target_qoe_mean", qoe)
+            console.info(f"wrote {args.n_traces} traces to {args.traces_out} "
+                         f"(target mean QoE {qoe:.3f})")
     return 0
 
 
 def _cmd_train_cc_adversary(args: argparse.Namespace) -> int:
-    sender_cls = _SENDERS[args.sender]
-    print(f"training adversary vs {args.sender} for {args.steps} steps ...")
-    result = train_cc_adversary(
-        sender_cls, total_steps=args.steps, seed=args.seed,
-        episode_intervals=args.episode_intervals,
-    )
-    rewards = [h["mean_episode_reward"] for h in result.history]
-    print(f"adversary episode reward: {rewards[0]:.1f} -> {rewards[-1]:.1f}")
-    if args.out:
-        result.trainer.save(args.out)
-        print(f"saved adversary model to {args.out}")
-    if args.traces_out:
-        rolls = generate_cc_traces(
-            result.trainer, result.env, args.n_traces,
-            seed=args.trace_seed,
-            workers=args.workers if args.trace_seed is not None else 0,
+    with _run_context(args) as (recorder, console):
+        sender_cls = _SENDERS[args.sender]
+        console.info(
+            f"training adversary vs {args.sender} for {args.steps} steps ..."
         )
-        save_corpus([r.trace for r in rolls], args.traces_out)
-        frac = float(np.mean([r.capacity_fraction for r in rolls]))
-        print(f"wrote {args.n_traces} traces to {args.traces_out} "
-              f"(target at {frac:.0%} of capacity)")
+        with recorder.timer("cli/train_seconds"):
+            result = train_cc_adversary(
+                sender_cls, total_steps=args.steps, seed=args.seed,
+                episode_intervals=args.episode_intervals, recorder=recorder,
+            )
+        rewards = [h["mean_episode_reward"] for h in result.history]
+        console.info(
+            f"adversary episode reward: {rewards[0]:.1f} -> {rewards[-1]:.1f}"
+        )
+        if args.out:
+            result.trainer.save(args.out)
+            console.info(f"saved adversary model to {args.out}")
+        if args.traces_out:
+            with recorder.timer("cli/generate_traces_seconds"):
+                rolls = generate_cc_traces(
+                    result.trainer, result.env, args.n_traces,
+                    seed=args.trace_seed,
+                    workers=args.workers if args.trace_seed is not None else 0,
+                )
+            save_corpus([r.trace for r in rolls], args.traces_out)
+            frac = float(np.mean([r.capacity_fraction for r in rolls]))
+            recorder.record("cli/capacity_fraction", frac)
+            console.info(f"wrote {args.n_traces} traces to {args.traces_out} "
+                         f"(target at {frac:.0%} of capacity)")
     return 0
 
 
 def _cmd_evaluate_abr(args: argparse.Namespace) -> int:
-    video = Video.synthetic(n_chunks=args.chunks, seed=args.video_seed)
-    traces = load_corpus(args.traces)
-    cache = _resolve_cache(args)
-    protocols = {name: factory() for name, factory in _ABR_TARGETS.items()}
-    qoe = evaluate_protocols(
-        video, traces, protocols, chunk_indexed=args.chunk_indexed,
-        workers=args.workers, cache=cache if cache is not None else False,
-    )
-    rows = [
-        [name, float(np.mean(qoes)), float(np.min(qoes))]
-        for name, qoes in qoe.items()
-    ]
-    print(format_table(["protocol", "mean QoE", "min QoE"], rows))
-    _report_exec(cache, args.workers)
+    with _run_context(args) as (recorder, console):
+        video = Video.synthetic(n_chunks=args.chunks, seed=args.video_seed)
+        traces = load_corpus(args.traces)
+        cache = _resolve_cache(args)
+        protocols = {name: factory() for name, factory in _ABR_TARGETS.items()}
+        qoe = evaluate_protocols(
+            video, traces, protocols, chunk_indexed=args.chunk_indexed,
+            workers=args.workers, cache=cache if cache is not None else False,
+            recorder=recorder,
+        )
+        rows = [
+            [name, float(np.mean(qoes)), float(np.min(qoes))]
+            for name, qoes in qoe.items()
+        ]
+        console.out(format_table(["protocol", "mean QoE", "min QoE"], rows))
+        _report_exec(cache, args.workers, recorder, console)
     return 0
 
 
 def _cmd_evaluate_cc(args: argparse.Namespace) -> int:
-    traces = load_corpus(args.traces)
-    sender_cls = _SENDERS[args.sender]
-    cache = _resolve_cache(args)
-    runs = run_sender_on_traces(
-        sender_cls, traces, seeds=[args.seed + i for i in range(len(traces))],
-        workers=args.workers, cache=cache if cache is not None else False,
-    )
-    rows = [
-        [trace.name, run.mean_throughput_mbps, run.capacity_fraction]
-        for trace, run in zip(traces, runs)
-    ]
-    print(format_table(["trace", "throughput (Mbps)", "capacity fraction"], rows))
-    _report_exec(cache, args.workers)
+    with _run_context(args) as (recorder, console):
+        traces = load_corpus(args.traces)
+        sender_cls = _SENDERS[args.sender]
+        cache = _resolve_cache(args)
+        runs = run_sender_on_traces(
+            sender_cls, traces,
+            seeds=[args.seed + i for i in range(len(traces))],
+            workers=args.workers, cache=cache if cache is not None else False,
+            recorder=recorder,
+        )
+        rows = [
+            [trace.name, run.mean_throughput_mbps, run.capacity_fraction]
+            for trace, run in zip(traces, runs)
+        ]
+        console.out(
+            format_table(["trace", "throughput (Mbps)", "capacity fraction"], rows)
+        )
+        _report_exec(cache, args.workers, recorder, console)
     return 0
 
 
 def _cmd_regression_build(args: argparse.Namespace) -> int:
     from repro.adversary.regression import AdversarialRegressionSuite
 
-    video = Video.synthetic(n_chunks=args.chunks, seed=args.video_seed)
-    protocol = _ABR_TARGETS[args.protocol]()
-    suite = AdversarialRegressionSuite(video, margin=args.margin)
-    print(f"hunting worst cases against {args.protocol} "
-          f"({args.steps} adversary steps) ...")
-    added = suite.refresh(protocol, adversary_steps=args.steps,
-                          n_traces=args.n_traces, keep_worst=args.keep,
-                          seed=args.seed)
-    suite.save(args.out)
-    print(f"recorded {len(added)} cases to {args.out}; thresholds: "
-          + ", ".join(f"{c.min_qoe:.2f}" for c in added))
+    with _run_context(args) as (recorder, console):
+        video = Video.synthetic(n_chunks=args.chunks, seed=args.video_seed)
+        protocol = _ABR_TARGETS[args.protocol]()
+        suite = AdversarialRegressionSuite(video, margin=args.margin)
+        console.info(f"hunting worst cases against {args.protocol} "
+                     f"({args.steps} adversary steps) ...")
+        with recorder.timer("cli/regression_refresh_seconds"):
+            added = suite.refresh(protocol, adversary_steps=args.steps,
+                                  n_traces=args.n_traces, keep_worst=args.keep,
+                                  seed=args.seed)
+        suite.save(args.out)
+        recorder.record("cli/regression_cases", len(added))
+        console.info(f"recorded {len(added)} cases to {args.out}; thresholds: "
+                     + ", ".join(f"{c.min_qoe:.2f}" for c in added))
     return 0
 
 
 def _cmd_regression_check(args: argparse.Namespace) -> int:
     from repro.adversary.regression import AdversarialRegressionSuite
 
-    video = Video.synthetic(n_chunks=args.chunks, seed=args.video_seed)
-    suite = AdversarialRegressionSuite(video)
-    suite.load(args.suite)
-    protocol = _ABR_TARGETS[args.protocol]()
-    report = suite.check(protocol)
-    print(report.summary())
+    with _run_context(args) as (recorder, console):
+        video = Video.synthetic(n_chunks=args.chunks, seed=args.video_seed)
+        suite = AdversarialRegressionSuite(video)
+        suite.load(args.suite)
+        protocol = _ABR_TARGETS[args.protocol]()
+        report = suite.check(protocol)
+        recorder.record("cli/regression_ok", int(report.ok))
+        console.out(report.summary())
     return 0 if report.ok else 1
 
 
 def _cmd_make_dataset(args: argparse.Namespace) -> int:
-    traces = make_dataset(args.kind, args.count, seed=args.seed,
-                          duration=args.duration)
-    save_corpus(traces, args.out)
-    mean_bw = float(np.mean([t.mean_bandwidth() for t in traces]))
-    print(f"wrote {len(traces)} {args.kind} traces to {args.out} "
-          f"(mean bandwidth {mean_bw:.2f} Mbps)")
+    with _run_context(args) as (recorder, console):
+        traces = make_dataset(args.kind, args.count, seed=args.seed,
+                              duration=args.duration)
+        save_corpus(traces, args.out)
+        mean_bw = float(np.mean([t.mean_bandwidth() for t in traces]))
+        recorder.record("cli/mean_bandwidth_mbps", mean_bw)
+        console.info(f"wrote {len(traces)} {args.kind} traces to {args.out} "
+                     f"(mean bandwidth {mean_bw:.2f} Mbps)")
     return 0
 
 
@@ -211,6 +292,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trace-seed", type=int, default=None,
                    help="seed for per-trace rollout noise (enables --workers)")
     _add_exec_args(p, cache=False)
+    _add_obs_args(p)
     p.set_defaults(func=_cmd_train_abr_adversary)
 
     p = sub.add_parser("train-cc-adversary", help="train an adversary vs a CC sender")
@@ -224,6 +306,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trace-seed", type=int, default=None,
                    help="seed for per-trace rollout noise (enables --workers)")
     _add_exec_args(p, cache=False)
+    _add_obs_args(p)
     p.set_defaults(func=_cmd_train_cc_adversary)
 
     p = sub.add_parser("evaluate-abr", help="run every ABR protocol over a corpus")
@@ -233,6 +316,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--chunk-indexed", action="store_true",
                    help="apply one bandwidth per chunk (adversarial replay)")
     _add_exec_args(p)
+    _add_obs_args(p)
     p.set_defaults(func=_cmd_evaluate_abr)
 
     p = sub.add_parser("evaluate-cc", help="replay CC traces against a sender")
@@ -240,6 +324,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--sender", choices=sorted(_SENDERS), default="bbr")
     p.add_argument("--seed", type=int, default=0)
     _add_exec_args(p)
+    _add_obs_args(p)
     p.set_defaults(func=_cmd_evaluate_cc)
 
     p = sub.add_parser("regression-build",
@@ -253,6 +338,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--chunks", type=int, default=48)
     p.add_argument("--video-seed", type=int, default=1)
     p.add_argument("--out", required=True)
+    _add_obs_args(p)
     p.set_defaults(func=_cmd_regression_build)
 
     p = sub.add_parser("regression-check",
@@ -261,6 +347,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--protocol", choices=sorted(_ABR_TARGETS), required=True)
     p.add_argument("--chunks", type=int, default=48)
     p.add_argument("--video-seed", type=int, default=1)
+    _add_obs_args(p)
     p.set_defaults(func=_cmd_regression_check)
 
     p = sub.add_parser("make-dataset", help="generate a synthetic trace corpus")
@@ -269,6 +356,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--duration", type=float, default=320.0)
     p.add_argument("--out", required=True)
+    _add_obs_args(p)
     p.set_defaults(func=_cmd_make_dataset)
     return parser
 

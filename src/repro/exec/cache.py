@@ -221,6 +221,18 @@ class ResultCache:
             if shard.is_dir():
                 yield from shard.glob("*.pkl")
 
+    def _recount(self) -> int:
+        """Re-derive the entry count from disk.
+
+        The maintained counter only sees *this* instance's stores; it
+        drifts whenever corrupt entries are dropped or another process
+        shares the directory.  Anywhere the count feeds a decision (the
+        ``max_entries`` bound) or has just been invalidated (a dropped
+        entry), the ground truth is the directory listing.
+        """
+        self._n_entries = sum(1 for _ in self._entry_paths())
+        return self._n_entries
+
     def lookup(self, key: str) -> tuple[bool, Any]:
         """Return ``(hit, value)``; corrupt or foreign entries are misses."""
         path = self._path(key)
@@ -241,9 +253,12 @@ class ResultCache:
             self.misses += 1
             try:
                 path.unlink()
-                self._n_entries = max(self._n_entries - 1, 0)
             except OSError:
                 pass
+            # The maintained count just lost an entry it may never have
+            # seen stored (e.g. written by another process); recount
+            # from disk rather than guess.
+            self._recount()
             return False, None
         self.hits += 1
         return True, value
@@ -272,12 +287,21 @@ class ResultCache:
         self.stores += 1
         if not existed:
             self._n_entries += 1
-        if self.max_entries is not None and self._n_entries > self.max_entries:
-            self._evict(self._n_entries - self.max_entries)
+        if self.max_entries is not None:
+            self._evict_to_bound()
 
-    def _evict(self, n: int) -> None:
+    def _evict_to_bound(self) -> None:
+        """Evict oldest entries (by mtime) until the bound holds.
+
+        Works from the directory listing, not the maintained counter, so
+        the bound is enforced correctly even when other writers share
+        the cache directory or corrupt-entry drops skewed the count.
+        """
         entries = sorted(self._entry_paths(), key=lambda p: p.stat().st_mtime)
-        for path in entries[:n]:
+        self._n_entries = len(entries)
+        assert self.max_entries is not None
+        excess = max(self._n_entries - self.max_entries, 0)
+        for path in entries[:excess]:
             try:
                 path.unlink()
                 self.evictions += 1
@@ -319,6 +343,17 @@ class ResultCache:
             "errors": self.errors,
             "entries": self._n_entries,
         }
+
+    def record_metrics(self, recorder, prefix: str = "cache/") -> None:
+        """Publish the counters as metrics on a ``MetricsRecorder``.
+
+        The observability path for what :meth:`summary` prints: one
+        sample per counter (hits, misses, stores, evictions, errors,
+        entries) plus the hit rate, under ``<prefix>`` names.
+        """
+        for name, value in self.stats().items():
+            recorder.record(prefix + name, value)
+        recorder.record(prefix + "hit_rate", self.hit_rate())
 
     def hit_rate(self) -> float:
         total = self.hits + self.misses

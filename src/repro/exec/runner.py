@@ -31,6 +31,8 @@ from typing import Any, Callable, Iterable, Sequence
 
 import numpy as np
 
+from repro.obs.metrics import MetricsRecorder, NULL_RECORDER
+
 __all__ = [
     "ParallelMap",
     "RemoteTraceback",
@@ -109,10 +111,20 @@ class ParallelMap:
         exact historical loop); ``None`` reads ``$REPRO_WORKERS``.  The
         pool is created lazily on the first parallel :meth:`map` and
         reused across calls until :meth:`close`.
+    recorder:
+        Optional :class:`~repro.obs.MetricsRecorder`; each :meth:`map`
+        records its wall-clock duration and task count (``exec/...``
+        series), replacing the old print-line reporting.  The no-op
+        default records nothing and costs nothing.
     """
 
-    def __init__(self, n_workers: int | None = None) -> None:
+    def __init__(
+        self,
+        n_workers: int | None = None,
+        recorder: MetricsRecorder | None = None,
+    ) -> None:
         self.n_workers = resolve_workers(n_workers)
+        self.recorder = recorder if recorder is not None else NULL_RECORDER
         self._executor: ProcessPoolExecutor | None = None
 
     @property
@@ -135,20 +147,27 @@ class ParallelMap:
         sees its own copy of any shared objects.
         """
         tasks = list(tasks)
+        self.recorder.count("exec/tasks", len(tasks))
         if not self.parallel:
-            return [fn(task) for task in tasks]
-        futures = [self._pool().submit(_invoke, fn, task) for task in tasks]
-        results: list[Any] = []
-        try:
-            for future in futures:
-                ok, payload = future.result()
-                if not ok:
-                    exc, tb = payload
-                    raise exc from RemoteTraceback(tb)
-                results.append(payload)
-        finally:
-            for future in futures:
-                future.cancel()
+            with self.recorder.timer(
+                "exec/map_seconds", tasks=len(tasks), workers=0
+            ):
+                return [fn(task) for task in tasks]
+        with self.recorder.timer(
+            "exec/map_seconds", tasks=len(tasks), workers=self.n_workers
+        ):
+            futures = [self._pool().submit(_invoke, fn, task) for task in tasks]
+            results: list[Any] = []
+            try:
+                for future in futures:
+                    ok, payload = future.result()
+                    if not ok:
+                        exc, tb = payload
+                        raise exc from RemoteTraceback(tb)
+                    results.append(payload)
+            finally:
+                for future in futures:
+                    future.cancel()
         return results
 
     def close(self) -> None:
@@ -164,18 +183,22 @@ class ParallelMap:
 
 
 @contextmanager
-def as_runner(workers: "int | None | ParallelMap"):
+def as_runner(
+    workers: "int | None | ParallelMap",
+    recorder: MetricsRecorder | None = None,
+):
     """Yield a :class:`ParallelMap` for ``workers``.
 
-    An existing runner is borrowed (and left open for its owner); an int
-    or ``None`` builds a temporary runner that is closed on exit.  This is
-    how experiment entry points share one persistent pool across their
-    internal evaluation loops.
+    An existing runner is borrowed (and left open for its owner, keeping
+    its own recorder); an int or ``None`` builds a temporary runner --
+    reporting into ``recorder`` if given -- that is closed on exit.
+    This is how experiment entry points share one persistent pool across
+    their internal evaluation loops.
     """
     if isinstance(workers, ParallelMap):
         yield workers
         return
-    runner = ParallelMap(workers)
+    runner = ParallelMap(workers, recorder=recorder)
     try:
         yield runner
     finally:

@@ -17,6 +17,7 @@ from repro.adversary.abr_env import train_abr_adversary
 from repro.adversary.generation import generate_abr_traces
 from repro.analysis.stats import QoERatioSummary, percentile, qoe_ratio_summary
 from repro.exec import ParallelMap, ResultCache, as_runner, cached_map, make_key
+from repro.obs.metrics import MetricsRecorder, NULL_RECORDER
 from repro.rl.ppo import PPO, PPOConfig
 from repro.traces.trace import Trace
 
@@ -52,6 +53,7 @@ def evaluate_protocols(
     weights: QoEWeights = QoEWeights(),
     workers: "int | ParallelMap | None" = None,
     cache: "ResultCache | str | bool | None" = None,
+    recorder: MetricsRecorder | None = None,
 ) -> dict[str, list[float]]:
     """Per-trace mean QoE of each protocol over a trace corpus.
 
@@ -63,13 +65,15 @@ def evaluate_protocols(
     :mod:`repro.exec`.  Results are identical to the serial uncached loop
     in all modes; parallel evaluation of *stochastic* policies is the one
     unsupported combination (each worker would snapshot, not share, the
-    policy's generator).
+    policy's generator).  ``recorder`` receives per-protocol evaluation
+    timings and the cache's hit/miss counters (``eval/``, ``cache/``).
     """
     if not traces:
         raise ValueError("empty trace corpus")
     cache = ResultCache.resolve(cache)
+    recorder = recorder if recorder is not None else NULL_RECORDER
     results: dict[str, list[float]] = {}
-    with as_runner(workers) as runner:
+    with as_runner(workers, recorder=recorder) as runner:
         for name, policy in protocols.items():
             tasks = [(video, t, policy, weights, chunk_indexed) for t in traces]
             keys = None
@@ -78,9 +82,13 @@ def evaluate_protocols(
                     _session_key(video, t, policy, weights, chunk_indexed)
                     for t in traces
                 ]
-            results[name] = cached_map(
-                _session_qoe_task, tasks, runner, cache=cache, keys=keys
-            )
+            with recorder.timer("eval/protocol_seconds", protocol=name,
+                                traces=len(traces)):
+                results[name] = cached_map(
+                    _session_qoe_task, tasks, runner, cache=cache, keys=keys
+                )
+    if cache is not None:
+        cache.record_metrics(recorder)
     return results
 
 
@@ -102,6 +110,7 @@ def run_abr_cdf_experiment(
     chunk_indexed: bool = True,
     workers: "int | ParallelMap | None" = None,
     cache: "ResultCache | str | bool | None" = None,
+    recorder: MetricsRecorder | None = None,
 ) -> AbrCdfExperiment:
     """Evaluate all protocols on all corpora and summarize QoE ratios.
 
@@ -109,21 +118,24 @@ def run_abr_cdf_experiment(
     ``("pensieve", "mpc", "anti-mpc")`` reproduces the "Pensieve/MPC on
     MPC traces" bar of Figure 2.  ``workers``/``cache`` parallelize and
     memoize the sessions (one persistent pool spans every corpus); see
-    :func:`evaluate_protocols`.
+    :func:`evaluate_protocols`.  ``recorder`` receives per-corpus
+    timings plus the evaluation-layer metrics.
     """
     # Resolve once so the env-var default is not re-read (and a ``False``
     # is not re-interpreted) by the per-corpus calls.
     cache = ResultCache.resolve(cache)
     if cache is None:
         cache = False
-    with as_runner(workers) as runner:
-        qoe = {
-            corpus_name: evaluate_protocols(
-                video, traces, protocols, chunk_indexed,
-                workers=runner, cache=cache,
-            )
-            for corpus_name, traces in corpora.items()
-        }
+    recorder = recorder if recorder is not None else NULL_RECORDER
+    with as_runner(workers, recorder=recorder) as runner:
+        qoe = {}
+        for corpus_name, traces in corpora.items():
+            with recorder.timer("experiment/corpus_seconds",
+                                corpus=corpus_name):
+                qoe[corpus_name] = evaluate_protocols(
+                    video, traces, protocols, chunk_indexed,
+                    workers=runner, cache=cache, recorder=recorder,
+                )
     experiment = AbrCdfExperiment(qoe=qoe)
     for other, targeted, corpus_name in ratio_pairs:
         experiment.ratios[(other, targeted, corpus_name)] = qoe_ratio_summary(
@@ -204,6 +216,7 @@ def run_robustness_experiment(
     trace_seed: int | None = None,
     workers: "int | ParallelMap | None" = None,
     cache: "ResultCache | str | bool | None" = None,
+    recorder: MetricsRecorder | None = None,
 ) -> RobustnessExperiment:
     """The Figure 4 pipeline with a shared training prefix.
 
@@ -230,12 +243,14 @@ def run_robustness_experiment(
     cache = ResultCache.resolve(cache)
     if cache is None:
         cache = False
+    recorder = recorder if recorder is not None else NULL_RECORDER
 
     def evaluate(agent, runner) -> dict[str, tuple[float, float]]:
         out = {}
         for name, traces in test_sets.items():
             qoes = evaluate_protocols(
-                video, traces, {"agent": agent}, workers=runner, cache=cache
+                video, traces, {"agent": agent}, workers=runner, cache=cache,
+                recorder=recorder,
             )["agent"]
             out[name] = (float(np.mean(qoes)), percentile(qoes, 5))
         return out
@@ -243,40 +258,47 @@ def run_robustness_experiment(
     snapshots = {}
     steps_done = 0
     line = None
-    for frac in fractions:
-        target = int(total_steps * frac)
-        if line is None:
-            line = train_pensieve(
-                train_corpus, video, total_steps=target, seed=seed,
-                config=copy.deepcopy(pensieve_config),
-            )
-        else:
-            line = continue_training(line, target - steps_done)
-        steps_done = target
-        snapshots[frac] = copy.deepcopy(line)
-    baseline = continue_training(line, total_steps - steps_done)
+    with recorder.timer("experiment/train_prefix_seconds"):
+        for frac in fractions:
+            target = int(total_steps * frac)
+            if line is None:
+                line = train_pensieve(
+                    train_corpus, video, total_steps=target, seed=seed,
+                    config=copy.deepcopy(pensieve_config),
+                )
+            else:
+                line = continue_training(line, target - steps_done)
+            steps_done = target
+            snapshots[frac] = copy.deepcopy(line)
+            recorder.event("robustness_snapshot", switch_fraction=frac,
+                           steps=target)
+        baseline = continue_training(line, total_steps - steps_done)
 
-    with as_runner(workers) as runner:
+    with as_runner(workers, recorder=recorder) as runner:
         qoe = {"without": evaluate(baseline.agent, runner)}
         trace_counts = {}
         for frac in fractions:
             snapshot = snapshots[frac]
             frozen = copy.deepcopy(snapshot.agent)
-            adversary = train_abr_adversary(
-                frozen, video, total_steps=adversary_steps, seed=seed + 17,
-                config=copy.deepcopy(adversary_config), n_envs=n_envs,
-                vec_backend=vec_backend,
-            )
+            with recorder.timer("experiment/adversary_seconds",
+                                switch_fraction=frac):
+                adversary = train_abr_adversary(
+                    frozen, video, total_steps=adversary_steps, seed=seed + 17,
+                    config=copy.deepcopy(adversary_config), n_envs=n_envs,
+                    vec_backend=vec_backend, recorder=recorder,
+                )
             rolls = generate_abr_traces(
                 adversary.trainer, adversary.env, n_adversarial_traces,
                 seed=trace_seed,
                 workers=runner if trace_seed is not None else 0,
             )
-            robust = continue_training(
-                snapshot,
-                total_steps - int(total_steps * frac),
-                new_traces=[r.trace for r in rolls],
-            )
+            with recorder.timer("experiment/robust_arm_seconds",
+                                switch_fraction=frac):
+                robust = continue_training(
+                    snapshot,
+                    total_steps - int(total_steps * frac),
+                    new_traces=[r.trace for r in rolls],
+                )
             label = f"adv@{int(frac * 100)}%"
             qoe[label] = evaluate(robust.agent, runner)
             trace_counts[label] = len(rolls)

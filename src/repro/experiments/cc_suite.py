@@ -15,6 +15,7 @@ from repro.adversary.generation import (
 from repro.cc.metrics import CcRunResult, run_sender_on_traces
 from repro.cc.protocols.bbr import BBRSender
 from repro.exec import ParallelMap, ResultCache, as_runner
+from repro.obs.metrics import MetricsRecorder, NULL_RECORDER
 from repro.rl.ppo import PPO
 
 __all__ = ["BbrAdversarialExperiment", "run_bbr_adversarial_experiment"]
@@ -50,6 +51,7 @@ def run_bbr_adversarial_experiment(
     rollout_seed: int | None = None,
     workers: "int | ParallelMap | None" = None,
     cache: "ResultCache | str | bool | None" = None,
+    recorder: MetricsRecorder | None = None,
 ) -> BbrAdversarialExperiment:
     """Roll out a trained CC adversary and quantify BBR's degradation.
 
@@ -62,26 +64,37 @@ def run_bbr_adversarial_experiment(
     ``workers`` parallelizes and ``cache`` memoizes them.  The
     deterministic Figure 6 rollout runs in-process so the attacked
     sender's probing log stays inspectable.  All outputs are identical to
-    the serial uncached run.
+    the serial uncached run; ``recorder`` observes phase timings, the
+    per-rollout capacity fractions and the cache counters.
     """
     n_rollouts = max(n_online, n_replay)
     cache = ResultCache.resolve(cache)
-    with as_runner(workers) as runner:
-        online = generate_cc_traces(
-            trainer, env, n_rollouts, deterministic=False,
-            names=[f"adv-cc-{i}" for i in range(n_rollouts)], seed=rollout_seed,
-            workers=runner if rollout_seed is not None else 0,
-        )
+    recorder = recorder if recorder is not None else NULL_RECORDER
+    with as_runner(workers, recorder=recorder) as runner:
+        with recorder.timer("experiment/online_rollouts_seconds",
+                            rollouts=n_rollouts):
+            online = generate_cc_traces(
+                trainer, env, n_rollouts, deterministic=False,
+                names=[f"adv-cc-{i}" for i in range(n_rollouts)],
+                seed=rollout_seed,
+                workers=runner if rollout_seed is not None else 0,
+            )
         fractions = [r.capacity_fraction for r in online[:n_online]]
-        replayed = run_sender_on_traces(
-            BBRSender,
-            [roll.trace for roll in online[:n_replay]],
-            seeds=[replay_seed + i for i in range(n_replay)],
-            workers=runner,
-            cache=cache if cache is not None else False,
-        )
+        for i, fraction in enumerate(fractions):
+            recorder.record("experiment/capacity_fraction", fraction, step=i)
+        with recorder.timer("experiment/replay_seconds", replays=n_replay):
+            replayed = run_sender_on_traces(
+                BBRSender,
+                [roll.trace for roll in online[:n_replay]],
+                seeds=[replay_seed + i for i in range(n_replay)],
+                workers=runner,
+                cache=cache if cache is not None else False,
+            )
 
-        deterministic = rollout_cc_adversary(trainer, env, deterministic=True)
+        with recorder.timer("experiment/deterministic_rollout_seconds"):
+            deterministic = rollout_cc_adversary(trainer, env, deterministic=True)
+    if cache is not None:
+        cache.record_metrics(recorder)
     sender = env.sender
     probe_times = [t for t, mode in sender.mode_log if mode == BBRSender.PROBE_RTT]
 

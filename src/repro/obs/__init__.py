@@ -1,0 +1,38 @@
+"""Training/eval observability: metric series, event logs, run manifests.
+
+The stack's fourth leg (after PR 1-3's rollout, emulator and evaluation
+performance work): every train/experiment entry point reports through a
+:class:`MetricsRecorder` (in-memory series + append-only JSONL event
+log), writes a :class:`RunManifest` tying its artifacts to the config,
+seed entropy, package version and code revision that produced them, and
+routes its console lines through one :class:`Console`.
+
+The no-op default (:data:`NULL_RECORDER`) keeps the unlogged path
+bitwise identical to the uninstrumented code: recording never consumes
+randomness, never mutates model or environment state, and costs a bound
+no-op call when disabled.  Set ``$REPRO_LOG_DIR`` (or pass
+``--log-dir`` on the CLI) to turn the lights on.
+"""
+
+from repro.obs.console import Console
+from repro.obs.manifest import RunManifest, git_revision
+from repro.obs.metrics import (
+    LOG_DIR_ENV,
+    METRICS_FILENAME,
+    MetricsRecorder,
+    NullRecorder,
+    NULL_RECORDER,
+    Timer,
+)
+
+__all__ = [
+    "Console",
+    "LOG_DIR_ENV",
+    "METRICS_FILENAME",
+    "MetricsRecorder",
+    "NullRecorder",
+    "NULL_RECORDER",
+    "RunManifest",
+    "Timer",
+    "git_revision",
+]

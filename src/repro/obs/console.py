@@ -1,0 +1,50 @@
+"""The one console reporting path for CLI and experiment scripts.
+
+Informational progress lines and final result tables used to be ~19
+ad-hoc ``print()`` calls; they now flow through a :class:`Console` so a
+``--quiet`` run suppresses the chatter while keeping the actual results,
+and every line can be mirrored into the run's event log.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import IO
+
+from repro.obs.metrics import MetricsRecorder, NULL_RECORDER
+
+__all__ = ["Console"]
+
+
+class Console:
+    """Leveled stdout reporting with an optional event-log mirror.
+
+    - :meth:`out` -- the command's actual output (tables, summaries);
+      always printed.
+    - :meth:`info` -- progress/confirmation chatter; suppressed by
+      ``quiet``.
+
+    Every line (printed or not) is mirrored as an ``event`` into
+    ``recorder``, so a quiet logged run still keeps its narrative.
+    """
+
+    def __init__(
+        self,
+        quiet: bool = False,
+        recorder: MetricsRecorder | None = None,
+        stream: IO[str] | None = None,
+    ) -> None:
+        self.quiet = quiet
+        self.recorder = recorder if recorder is not None else NULL_RECORDER
+        self.stream = stream if stream is not None else sys.stdout
+
+    def out(self, message: str) -> None:
+        """Print a result line regardless of quietness."""
+        print(message, file=self.stream)
+        self.recorder.event("console", level="out", message=message)
+
+    def info(self, message: str) -> None:
+        """Print a progress line unless the console is quiet."""
+        if not self.quiet:
+            print(message, file=self.stream)
+        self.recorder.event("console", level="info", message=message)

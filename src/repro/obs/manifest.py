@@ -1,0 +1,151 @@
+"""Run manifests: tie every artifact to the inputs that produced it.
+
+A :class:`RunManifest` is written as ``<log_dir>/manifest.json`` at the
+start of every train/experiment entry point, so a figure or a
+``results/*.txt`` file can always be traced back to the exact command,
+configuration, seed entropy, package version, platform and (when the
+working tree is a git checkout) code revision that produced it.
+
+The manifest splits into two parts:
+
+- **Deterministic identity** -- command, config, seed entropy, package
+  and schema versions.  :meth:`RunManifest.fingerprint` hashes exactly
+  these, so two runs configured identically produce identical
+  fingerprints on any machine, at any time (tests/test_obs_manifest.py).
+- **Provenance context** -- platform, python/numpy versions, git SHA,
+  wall-clock start time.  Recorded for forensics, excluded from the
+  fingerprint.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import platform
+import subprocess
+import sys
+import time
+from dataclasses import dataclass, field
+from hashlib import sha256
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+__all__ = ["RunManifest", "git_revision"]
+
+#: Name of the manifest file inside a run's log directory.
+MANIFEST_FILENAME = "manifest.json"
+
+
+def git_revision(cwd: str | Path | None = None) -> str | None:
+    """The current git SHA, or ``None`` outside a checkout (best effort)."""
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=cwd, capture_output=True, text=True, timeout=5.0,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    sha = proc.stdout.strip()
+    return sha if proc.returncode == 0 and sha else None
+
+
+def _jsonable(obj: Any) -> Any:
+    """Coerce config values into JSON-stable primitives, recursively."""
+    if isinstance(obj, (str, int, float, bool)) or obj is None:
+        return obj
+    if isinstance(obj, (np.integer,)):
+        return int(obj)
+    if isinstance(obj, (np.floating,)):
+        return float(obj)
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    if isinstance(obj, Path):
+        return str(obj)
+    if isinstance(obj, dict):
+        return {str(k): _jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple, set, frozenset)):
+        items = sorted(obj, key=repr) if isinstance(obj, (set, frozenset)) else obj
+        return [_jsonable(v) for v in items]
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return _jsonable(dataclasses.asdict(obj))
+    return repr(obj)
+
+
+@dataclass
+class RunManifest:
+    """Everything needed to re-run (and trust) one training/experiment run."""
+
+    command: str
+    config: dict[str, Any]
+    #: ``np.random.SeedSequence(seed).entropy`` -- the run's whole random
+    #: identity in one integer (``None`` for unseeded runs).
+    seed_entropy: int | None = None
+    version: str = ""
+    #: Provenance context (not part of the fingerprint).
+    python: str = field(default_factory=lambda: sys.version.split()[0])
+    numpy: str = field(default_factory=lambda: np.__version__)
+    platform: str = field(default_factory=platform.platform)
+    git_sha: str | None = None
+    started_at: float = field(default_factory=time.time)
+
+    @classmethod
+    def create(
+        cls,
+        command: str,
+        config: dict[str, Any] | None = None,
+        seed: int | None = None,
+    ) -> "RunManifest":
+        """Build a manifest for ``command``, resolving version and git SHA."""
+        from repro import __version__
+
+        entropy = None
+        if seed is not None:
+            entropy = int(np.random.SeedSequence(seed).entropy)
+        return cls(
+            command=command,
+            config=_jsonable(config or {}),
+            seed_entropy=entropy,
+            version=__version__,
+            git_sha=git_revision(),
+        )
+
+    def identity(self) -> dict[str, Any]:
+        """The deterministic part: same inputs => same dict, anywhere."""
+        return {
+            "command": self.command,
+            "config": _jsonable(self.config),
+            "seed_entropy": self.seed_entropy,
+            "version": self.version,
+        }
+
+    def fingerprint(self) -> str:
+        """Hex SHA-256 of the deterministic identity (sorted-key JSON)."""
+        blob = json.dumps(self.identity(), sort_keys=True, separators=(",", ":"))
+        return sha256(blob.encode()).hexdigest()
+
+    def to_dict(self) -> dict[str, Any]:
+        out = dict(self.identity())
+        out.update(
+            fingerprint=self.fingerprint(),
+            python=self.python,
+            numpy=self.numpy,
+            platform=self.platform,
+            git_sha=self.git_sha,
+            started_at=self.started_at,
+        )
+        return out
+
+    def write(self, log_dir: str | Path) -> Path:
+        """Write ``manifest.json`` under ``log_dir``; returns the path."""
+        log_dir = Path(log_dir)
+        log_dir.mkdir(parents=True, exist_ok=True)
+        path = log_dir / MANIFEST_FILENAME
+        path.write_text(json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n")
+        return path
+
+    @classmethod
+    def read(cls, log_dir: str | Path) -> dict[str, Any]:
+        """Load a previously written manifest as a plain dict."""
+        return json.loads((Path(log_dir) / MANIFEST_FILENAME).read_text())

@@ -1,0 +1,232 @@
+"""Metric recording: in-memory series plus an append-only JSONL event log.
+
+:class:`MetricsRecorder` is the single sink every training and experiment
+entry point reports through.  Each call appends to an in-memory series
+(inspectable in tests and notebooks) and, when a log directory is
+configured, to ``<log_dir>/metrics.jsonl`` -- one self-describing JSON
+object per line, so a run's telemetry can be tailed while it trains and
+parsed afterwards without the process that wrote it.
+
+The default is :class:`NullRecorder`: every method is a bound no-op, so
+instrumented code paths cost one attribute lookup and one call when
+logging is off and nothing else -- no string formatting, no I/O, no
+allocation of event dicts.  Seeded runs therefore produce bitwise
+identical results with logging on or off; the recorder only *observes*.
+
+JSONL event schema (every line)::
+
+    {"kind": "metric"|"counter"|"timer"|"event",
+     "name": str, "value": float, "step": int|null, "t": float}
+
+``t`` is wall-clock (``time.time()``); extra keyword tags are inlined as
+additional keys.  The schema is validated by tests/test_obs_metrics.py.
+
+The default log location is taken from ``$REPRO_LOG_DIR``; with the
+variable unset, :meth:`MetricsRecorder.resolve` returns the shared
+:data:`NULL_RECORDER` and callers run silent (the historical behaviour).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Any, IO
+
+__all__ = [
+    "LOG_DIR_ENV",
+    "MetricsRecorder",
+    "NullRecorder",
+    "NULL_RECORDER",
+    "Timer",
+]
+
+#: Environment variable naming the default log directory.
+LOG_DIR_ENV = "REPRO_LOG_DIR"
+
+#: Name of the event log inside a run's log directory.
+METRICS_FILENAME = "metrics.jsonl"
+
+
+class Timer:
+    """A ``with`` block that reports its wall-clock duration.
+
+    Used standalone (``elapsed`` after exit) or through
+    :meth:`MetricsRecorder.timer`, which records the duration as a
+    ``timer`` event on exit.
+    """
+
+    def __init__(self, on_exit=None) -> None:
+        self._on_exit = on_exit
+        self.elapsed: float = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.elapsed = time.perf_counter() - self._start
+        if self._on_exit is not None:
+            self._on_exit(self.elapsed)
+
+
+class MetricsRecorder:
+    """In-memory metric series with an optional JSONL event log.
+
+    Parameters
+    ----------
+    log_dir:
+        Directory receiving ``metrics.jsonl`` (created on demand).
+        ``None`` keeps everything in memory only.
+    """
+
+    def __init__(self, log_dir: str | Path | None = None) -> None:
+        self.log_dir = Path(log_dir) if log_dir is not None else None
+        self.series: dict[str, list[tuple[int | None, float]]] = {}
+        self.counters: dict[str, int] = {}
+        self._fh: IO[str] | None = None
+        if self.log_dir is not None:
+            self.log_dir.mkdir(parents=True, exist_ok=True)
+            self._fh = (self.log_dir / METRICS_FILENAME).open(
+                "a", encoding="utf-8", buffering=1
+            )
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def from_env(cls) -> "MetricsRecorder | NullRecorder":
+        """The ``$REPRO_LOG_DIR`` recorder, or the no-op when unset."""
+        root = os.environ.get(LOG_DIR_ENV)
+        return cls(root) if root else NULL_RECORDER
+
+    @classmethod
+    def resolve(
+        cls, spec: "MetricsRecorder | str | Path | bool | None"
+    ) -> "MetricsRecorder":
+        """Normalize a recorder spec.
+
+        An instance passes through; a path builds a recorder logging
+        there; ``None`` defers to ``$REPRO_LOG_DIR``; ``False`` is the
+        no-op recorder.
+        """
+        if spec is False:
+            return NULL_RECORDER
+        if spec is None:
+            return cls.from_env()
+        if isinstance(spec, MetricsRecorder):
+            return spec
+        return cls(spec)
+
+    @property
+    def enabled(self) -> bool:
+        return True
+
+    # -- recording ---------------------------------------------------------
+
+    def _emit(self, kind: str, name: str, value: float,
+              step: int | None, tags: dict[str, Any]) -> None:
+        if self._fh is not None:
+            event = {"kind": kind, "name": name, "value": value,
+                     "step": step, "t": time.time()}
+            if tags:
+                event.update(tags)
+            self._fh.write(json.dumps(event) + "\n")
+
+    def record(self, name: str, value: float, step: int | None = None,
+               **tags: Any) -> None:
+        """Append one sample to the series ``name`` (and the event log)."""
+        value = float(value)
+        self.series.setdefault(name, []).append((step, value))
+        self._emit("metric", name, value, step, tags)
+
+    def record_dict(self, metrics: dict[str, Any], step: int | None = None,
+                    prefix: str = "") -> None:
+        """Record every numeric entry of ``metrics`` (bools as 0/1)."""
+        for key, value in metrics.items():
+            if isinstance(value, bool):
+                value = int(value)
+            if isinstance(value, (int, float)):
+                self.record(f"{prefix}{key}", value, step=step)
+
+    def count(self, name: str, n: int = 1, **tags: Any) -> None:
+        """Add ``n`` to the running counter ``name``."""
+        total = self.counters.get(name, 0) + int(n)
+        self.counters[name] = total
+        self._emit("counter", name, float(total), None, tags)
+
+    def timer(self, name: str, step: int | None = None, **tags: Any) -> Timer:
+        """A context manager recording its duration as a ``timer`` event."""
+        def emit(elapsed: float) -> None:
+            self.series.setdefault(name, []).append((step, elapsed))
+            self._emit("timer", name, elapsed, step, tags)
+        return Timer(on_exit=emit)
+
+    def event(self, name: str, **payload: Any) -> None:
+        """A free-form marker event (phase changes, checkpoints written)."""
+        self._emit("event", name, 1.0, None, payload)
+
+    # -- inspection ----------------------------------------------------------
+
+    def values(self, name: str) -> list[float]:
+        """The recorded values of one series, in record order."""
+        return [v for _step, v in self.series.get(name, [])]
+
+    def last(self, name: str, default: float | None = None) -> float | None:
+        samples = self.series.get(name)
+        return samples[-1][1] if samples else default
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def flush(self) -> None:
+        if self._fh is not None:
+            self._fh.flush()
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "MetricsRecorder":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class NullRecorder(MetricsRecorder):
+    """The zero-overhead default: records nothing, writes nothing.
+
+    Every recording method is overridden with a bare no-op (no dict
+    updates, no formatting), so instrumentation left in hot paths is free
+    when observability is off.
+    """
+
+    def __init__(self) -> None:  # noqa: D107 -- no file handle, no dirs
+        self.log_dir = None
+        self.series = {}
+        self.counters = {}
+        self._fh = None
+
+    @property
+    def enabled(self) -> bool:
+        return False
+
+    def record(self, name, value, step=None, **tags) -> None:
+        pass
+
+    def record_dict(self, metrics, step=None, prefix="") -> None:
+        pass
+
+    def count(self, name, n=1, **tags) -> None:
+        pass
+
+    def timer(self, name, step=None, **tags) -> Timer:
+        return Timer()
+
+    def event(self, name, **payload) -> None:
+        pass
+
+
+#: Shared no-op instance; safe to use from any number of call sites.
+NULL_RECORDER = NullRecorder()

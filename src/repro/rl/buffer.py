@@ -219,25 +219,18 @@ class RolloutBuffer:
         for start in range(0, self.size, batch_size):
             yield idx[start : start + batch_size]
 
-    def mean_episode_reward(self) -> float:
-        """Mean total reward of *completed* episodes in the buffer.
-
-        Falls back to the per-env total reward when no episode boundary
-        was recorded.
-        """
+    def _episode_totals(self) -> list[float]:
+        """Total reward of each *completed* episode in the stored slice."""
         n = self.pos
+        totals: list[float] = []
         if self.n_envs == 1:
-            totals: list[float] = []
             acc = 0.0
             for t in range(n):
                 acc += self.rewards[t]
                 if self.dones[t]:
                     totals.append(acc)
                     acc = 0.0
-            if not totals:
-                return float(self.rewards[:n].sum())
-            return float(np.mean(totals))
-        totals = []
+            return totals
         for e in range(self.n_envs):
             acc = 0.0
             for t in range(n):
@@ -245,6 +238,41 @@ class RolloutBuffer:
                 if self.dones[t, e]:
                     totals.append(acc)
                     acc = 0.0
+        return totals
+
+    def mean_episode_reward(self) -> float:
+        """Mean total reward of *completed* episodes in the buffer.
+
+        Falls back to the per-env total reward when no episode boundary
+        was recorded.
+        """
+        n = self.pos
+        totals = self._episode_totals()
         if not totals:
+            if self.n_envs == 1:
+                return float(self.rewards[:n].sum())
             return float(self.rewards[:n].sum(axis=0).mean())
         return float(np.mean(totals))
+
+    def episode_return_stats(self) -> dict[str, float]:
+        """Distribution stats of the completed episodes in the buffer.
+
+        ``episode_count`` counts completed episodes; when none completed
+        this rollout, min/max/std fall back to the running per-env totals
+        (with ``episode_count`` 0) so training diagnostics stay defined
+        on environments with episodes longer than one rollout.
+        """
+        totals = self._episode_totals()
+        count = len(totals)
+        if not totals:
+            n = self.pos
+            if self.n_envs == 1:
+                totals = [float(self.rewards[:n].sum())]
+            else:
+                totals = [float(s) for s in self.rewards[:n].sum(axis=0)]
+        return {
+            "episode_return_min": float(np.min(totals)),
+            "episode_return_max": float(np.max(totals)),
+            "episode_return_std": float(np.std(totals)),
+            "episode_count": count,
+        }

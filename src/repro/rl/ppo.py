@@ -18,6 +18,7 @@ from typing import Callable, Sequence
 import numpy as np
 
 from repro.nn.optim import Adam, clip_grad_norm
+from repro.obs.metrics import MetricsRecorder, NULL_RECORDER
 from repro.rl.buffer import RolloutBuffer
 from repro.rl.env import Env
 from repro.rl.policy import ActorCritic
@@ -103,6 +104,13 @@ class PPO:
         Optionally, a pre-built (e.g. partially trained) policy to continue
         training -- this is how the robustification pipeline of section 2.3
         resumes Pensieve's training on the augmented trace corpus.
+    recorder:
+        A :class:`~repro.obs.MetricsRecorder` receiving per-update
+        diagnostics (losses, KL, entropy, clip fraction, gradient norm,
+        explained variance, episode-return stats, phase timings).  The
+        default no-op recorder makes instrumentation free; recording
+        never consumes randomness or mutates training state, so a run
+        is bitwise identical with logging on or off.
     """
 
     def __init__(
@@ -111,8 +119,11 @@ class PPO:
         config: PPOConfig | None = None,
         seed: int = 0,
         policy: ActorCritic | None = None,
+        recorder: MetricsRecorder | None = None,
     ) -> None:
         self.cfg = config if config is not None else PPOConfig()
+        self.recorder = recorder if recorder is not None else NULL_RECORDER
+        self._owns_vec_env = False
         if isinstance(env, VecEnv):
             if self.cfg.n_envs not in (1, env.n_envs):
                 raise ValueError(
@@ -128,6 +139,7 @@ class PPO:
             self.vec_env = make_vec_env(
                 env, self.cfg.n_envs, backend=self.cfg.vec_backend
             )
+            self._owns_vec_env = True
             self.env = env
         else:
             self.vec_env = None
@@ -226,11 +238,20 @@ class PPO:
     # -- update --------------------------------------------------------------
 
     def update(self) -> dict:
-        """Run the clipped-surrogate update over the stored rollout."""
+        """Run the clipped-surrogate update over the stored rollout.
+
+        Besides performing the optimization, returns the full diagnostic
+        set the observability layer records per update: policy/value
+        loss, approximate KL, entropy, clip fraction, pre-clip gradient
+        norm and the explained variance of the rollout's value estimates.
+        Every diagnostic is derived from quantities the update computes
+        anyway -- nothing here draws randomness or touches parameters.
+        """
         cfg = self.cfg
         buf = self.buffer
         flat = buf.flattened()
-        stats = {"pi_loss": 0.0, "v_loss": 0.0, "entropy": 0.0, "approx_kl": 0.0}
+        stats = {"pi_loss": 0.0, "v_loss": 0.0, "entropy": 0.0, "approx_kl": 0.0,
+                 "clip_frac": 0.0, "grad_norm": 0.0}
         n_updates = 0
         early_stop = False
         for _epoch in range(cfg.n_epochs):
@@ -270,13 +291,17 @@ class PPO:
                 self.policy.value_backward(d_values)
 
                 grads = self.policy.gradients()
-                clip_grad_norm(grads, cfg.max_grad_norm)
+                grad_norm = clip_grad_norm(grads, cfg.max_grad_norm)
                 self.optimizer.step(grads)
 
                 stats["pi_loss"] += float(-np.minimum(surr1, surr2).mean())
                 stats["v_loss"] += float(0.5 * np.mean((values - mb_returns) ** 2))
                 stats["entropy"] += float(entropy.mean())
                 stats["approx_kl"] += float(np.mean(mb_old_logp - logp))
+                stats["clip_frac"] += float(
+                    np.mean(np.abs(ratio - 1.0) > cfg.clip_range)
+                )
+                stats["grad_norm"] += float(grad_norm)
                 n_updates += 1
             if cfg.target_kl is not None:
                 dist = self.policy.distribution(flat.obs)
@@ -286,6 +311,15 @@ class PPO:
                     break
         for key in stats:
             stats[key] /= max(n_updates, 1)
+        # Explained variance of the rollout-time value estimates
+        # (``values = returns - advantages`` by the GAE identity): how
+        # much of the return signal the critic already accounts for.
+        var_returns = float(np.var(flat.returns))
+        stats["explained_variance"] = (
+            1.0 - float(np.var(flat.advantages)) / var_returns
+            if var_returns > 0.0
+            else float("nan")
+        )
         stats["early_stop"] = early_stop
         return stats
 
@@ -301,15 +335,30 @@ class PPO:
             raise ValueError("total_steps must be positive")
         target = self.total_steps + total_steps
         while self.total_steps < target:
-            last_value = self.collect_rollout()
+            with self.recorder.timer("ppo/rollout_seconds"):
+                last_value = self.collect_rollout()
             self.buffer.compute_gae(last_value, self.cfg.gamma, self.cfg.gae_lambda)
-            stats = self.update()
+            with self.recorder.timer("ppo/update_seconds"):
+                stats = self.update()
             stats["steps"] = self.total_steps
             stats["mean_episode_reward"] = self.buffer.mean_episode_reward()
+            stats.update(self.buffer.episode_return_stats())
             self.history.append(stats)
+            self.recorder.record_dict(stats, step=self.total_steps, prefix="ppo/")
             if callback is not None:
                 callback(self, stats)
         return self.history
+
+    def close(self) -> None:
+        """Shut down a vectorized env this trainer built internally.
+
+        Only envs constructed by :class:`PPO` itself (prototype env with
+        ``n_envs > 1``) are closed; an externally supplied env -- vec or
+        not -- stays the caller's to manage.  Idempotent.
+        """
+        if self._owns_vec_env and self.vec_env is not None:
+            self.vec_env.close()
+            self.vec_env = None
 
     # -- deterministic acting and persistence ---------------------------------
 
@@ -332,22 +381,75 @@ class PPO:
         )
         return action
 
-    def save(self, path: str | Path) -> None:
+    @staticmethod
+    def checkpoint_path(path: str | Path) -> Path:
+        """Canonical on-disk checkpoint path: always the ``.npz`` name.
+
+        ``np.savez`` silently appends ``.npz`` to names that lack it;
+        normalizing here makes ``save(p)``/``load(p)`` round-trip for any
+        of ``p``, ``p.npz`` and ``Path(p)`` spellings of the same file.
+        """
         path = Path(path)
+        if path.suffix != ".npz":
+            path = path.with_name(path.name + ".npz")
+        return path
+
+    def save(self, path: str | Path) -> None:
+        path = self.checkpoint_path(path)
         arrays = {f"param_{i}": w for i, w in enumerate(self.policy.get_weights())}
         arrays["rms_mean"] = self.obs_rms.mean
         arrays["rms_var"] = self.obs_rms.var
         arrays["rms_count"] = np.array(self.obs_rms.count)
         np.savez(path, **arrays)
+        self.recorder.event("checkpoint_saved", path=str(path))
 
     def load(self, path: str | Path) -> None:
-        data = np.load(Path(path) if str(path).endswith(".npz") else f"{path}.npz")
-        weights: list[np.ndarray] = []
-        i = 0
-        while f"param_{i}" in data:
-            weights.append(data[f"param_{i}"])
-            i += 1
+        """Restore policy weights and observation statistics from ``path``.
+
+        The checkpoint is fully read and validated against the current
+        policy -- parameter count, every parameter shape, and the
+        normalization-statistics shape -- *before* anything is mutated,
+        so a mismatched file raises a clear :class:`ValueError` and
+        leaves the trainer exactly as it was.
+        """
+        path = self.checkpoint_path(path)
+        with np.load(path) as data:
+            weights: list[np.ndarray] = []
+            i = 0
+            while f"param_{i}" in data:
+                weights.append(data[f"param_{i}"])
+                i += 1
+            missing = [k for k in ("rms_mean", "rms_var", "rms_count")
+                       if k not in data]
+            if missing:
+                raise ValueError(
+                    f"checkpoint {path} is missing arrays {missing}; "
+                    "not a PPO checkpoint?"
+                )
+            rms_state = {
+                "mean": data["rms_mean"],
+                "var": data["rms_var"],
+                "count": float(data["rms_count"]),
+            }
+        params = self.policy.parameters()
+        if len(weights) != len(params):
+            raise ValueError(
+                f"checkpoint {path} holds {len(weights)} parameter arrays "
+                f"but the policy has {len(params)}; architecture mismatch "
+                "(hidden sizes / action space?)"
+            )
+        for i, (w, p) in enumerate(zip(weights, params)):
+            if w.shape != p.shape:
+                raise ValueError(
+                    f"checkpoint {path} param_{i} has shape {w.shape}, "
+                    f"policy expects {p.shape}; refusing to load"
+                )
+        rms_shape = np.asarray(rms_state["mean"]).shape
+        if rms_shape != self.obs_rms.mean.shape:
+            raise ValueError(
+                f"checkpoint {path} normalization stats have shape "
+                f"{rms_shape}, trainer expects {self.obs_rms.mean.shape}"
+            )
         self.policy.set_weights(weights)
-        self.obs_rms.load_state(
-            {"mean": data["rms_mean"], "var": data["rms_var"], "count": float(data["rms_count"])}
-        )
+        self.obs_rms.load_state(rms_state)
+        self.recorder.event("checkpoint_loaded", path=str(path))

@@ -1,5 +1,7 @@
 """Tests for the command-line interface (repro.cli)."""
 
+import json
+
 import numpy as np
 import pytest
 
@@ -83,3 +85,81 @@ class TestTrainAndEvaluate:
         rc = main(["evaluate-cc", "--traces", str(traces_path), "--sender", "bbr"])
         assert rc == 0
         assert "capacity fraction" in capsys.readouterr().out
+
+
+class TestObservability:
+    """The --log-dir / --quiet layer: observe-only, never alter results."""
+
+    def test_train_abr_smoke_writes_manifest_and_metrics(self, tmp_path):
+        log_dir = tmp_path / "logs"
+        rc = main([
+            "train-abr-adversary", "--target", "bb", "--steps", "256",
+            "--chunks", "10", "--seed", "3", "--log-dir", str(log_dir),
+        ])
+        assert rc == 0
+
+        manifest = json.loads((log_dir / "manifest.json").read_text())
+        assert manifest["command"] == "train-abr-adversary"
+        assert manifest["config"]["steps"] == 256
+        assert manifest["seed_entropy"] == 3
+        assert len(manifest["fingerprint"]) == 64
+        # Observability knobs must not leak into the run's identity.
+        assert "log_dir" not in manifest["config"]
+        assert "quiet" not in manifest["config"]
+
+        lines = (log_dir / "metrics.jsonl").read_text().splitlines()
+        events = [json.loads(line) for line in lines]
+        for event in events:
+            assert event["kind"] in {"metric", "counter", "timer", "event"}
+            assert isinstance(event["name"], str)
+            assert isinstance(event["value"], float)
+            assert event["step"] is None or isinstance(event["step"], int)
+            assert isinstance(event["t"], float)
+        names = {e["name"] for e in events}
+        # Per-update PPO diagnostics, one sample per update.
+        for metric in ("ppo/pi_loss", "ppo/v_loss", "ppo/approx_kl",
+                       "ppo/entropy", "ppo/clip_frac", "ppo/grad_norm",
+                       "ppo/explained_variance", "ppo/mean_episode_reward"):
+            assert metric in names, f"missing {metric}"
+        steps = [e["step"] for e in events if e["name"] == "ppo/pi_loss"]
+        assert steps == sorted(steps) and len(steps) >= 1
+
+    def test_logging_does_not_change_results(self, tmp_path):
+        plain = tmp_path / "plain.jsonl"
+        logged = tmp_path / "logged.jsonl"
+        base = ["train-abr-adversary", "--target", "bb", "--steps", "256",
+                "--chunks", "10", "--seed", "5", "--n-traces", "2"]
+        assert main(base + ["--traces-out", str(plain)]) == 0
+        assert main(base + ["--traces-out", str(logged),
+                            "--log-dir", str(tmp_path / "logs")]) == 0
+        assert plain.read_bytes() == logged.read_bytes()
+
+    def test_env_var_enables_logging(self, tmp_path, monkeypatch):
+        log_dir = tmp_path / "from-env"
+        monkeypatch.setenv("REPRO_LOG_DIR", str(log_dir))
+        out = tmp_path / "corpus.jsonl"
+        assert main(["make-dataset", "--kind", "3g", "--count", "2",
+                     "--duration", "30", "--out", str(out)]) == 0
+        assert (log_dir / "manifest.json").exists()
+        assert (log_dir / "metrics.jsonl").exists()
+
+    def test_default_path_writes_no_logs(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_LOG_DIR", raising=False)
+        monkeypatch.chdir(tmp_path)
+        out = tmp_path / "corpus.jsonl"
+        assert main(["make-dataset", "--kind", "3g", "--count", "2",
+                     "--duration", "30", "--out", str(out)]) == 0
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["corpus.jsonl"]
+
+    def test_quiet_suppresses_info_keeps_tables(self, tmp_path, capsys):
+        corpus = tmp_path / "corpus.jsonl"
+        assert main(["make-dataset", "--kind", "3g", "--count", "2",
+                     "--duration", "30", "--out", str(corpus), "--quiet"]) == 0
+        assert capsys.readouterr().out == ""  # info-only command goes silent
+
+        rc = main(["evaluate-abr", "--traces", str(corpus), "--chunks", "10",
+                   "--no-cache", "--quiet"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "mean QoE" in out          # the result table survives
+        assert "workers:" not in out      # ... the telemetry chatter does not

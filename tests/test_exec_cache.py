@@ -113,6 +113,56 @@ class TestEviction:
         with pytest.raises(ValueError):
             ResultCache(tmp_path, max_entries=0)
 
+    def test_bound_enforced_across_two_writers(self, tmp_path):
+        """The bound holds from the disk listing, not per-instance counts."""
+        import os
+
+        a = ResultCache(tmp_path, max_entries=3)
+        b = ResultCache(tmp_path, max_entries=3)
+        for i in range(3):
+            writer = a if i % 2 == 0 else b
+            writer.put(f"k{i}", i)
+            os.utime(writer._path(f"k{i}"), (1000 + i, 1000 + i))
+        # Each instance alone stored fewer than max_entries, but the
+        # directory is full: the next store must evict the oldest.
+        b.put("k3", 3)
+        entries = {p.stem for shard in tmp_path.iterdir() if shard.is_dir()
+                   for p in shard.glob("*.pkl")}
+        assert entries == {"k1", "k2", "k3"}
+        assert b.evictions == 1
+        assert len(b) == 3
+
+    def test_len_tracks_foreign_writes_on_eviction_pass(self, tmp_path):
+        a = ResultCache(tmp_path, max_entries=10)
+        b = ResultCache(tmp_path, max_entries=10)
+        for i in range(4):
+            a.put(f"a{i}", i)
+        b.put("b0", 0)  # eviction pass recounts from disk
+        assert len(b) == 5
+
+
+class TestCountRecovery:
+    def test_corrupt_drop_recounts_from_disk(self, tmp_path):
+        writer = ResultCache(tmp_path)
+        for i in range(3):
+            writer.put(f"k{i}", i)
+        reader = ResultCache(tmp_path)
+        # Another process corrupts one entry after the reader counted.
+        writer._path("k1").write_bytes(b"garbage")
+        assert not reader.lookup("k1")[0]
+        assert reader.errors == 1
+        assert len(reader) == 2  # recounted, not blindly decremented
+
+    def test_corrupt_foreign_entry_does_not_underflow(self, tmp_path):
+        writer = ResultCache(tmp_path)
+        cache = ResultCache(tmp_path)  # counted 0 entries at init
+        writer.put("k", 1)
+        writer._path("k").write_bytes(b"garbage")
+        assert not cache.lookup("k")[0]
+        # Dropping an entry this instance never saw stored must not
+        # push the count negative.
+        assert len(cache) == 0
+
     def test_clear(self, tmp_path):
         cache = ResultCache(tmp_path)
         cache.put("a", 1)

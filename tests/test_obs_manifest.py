@@ -1,0 +1,95 @@
+"""Tests for run manifests (repro.obs.manifest)."""
+
+import dataclasses
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.obs import RunManifest
+from repro.obs.manifest import MANIFEST_FILENAME, _jsonable, git_revision
+
+
+class TestFingerprint:
+    def test_deterministic_for_fixed_inputs(self):
+        a = RunManifest.create("train-abr", {"steps": 100, "target": "bb"}, seed=7)
+        b = RunManifest.create("train-abr", {"steps": 100, "target": "bb"}, seed=7)
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_config_change_changes_fingerprint(self):
+        base = RunManifest.create("train-abr", {"steps": 100}, seed=7)
+        other = RunManifest.create("train-abr", {"steps": 200}, seed=7)
+        assert base.fingerprint() != other.fingerprint()
+
+    def test_seed_change_changes_fingerprint(self):
+        a = RunManifest.create("train-abr", {"steps": 100}, seed=7)
+        b = RunManifest.create("train-abr", {"steps": 100}, seed=8)
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_provenance_excluded(self):
+        a = RunManifest.create("cmd", {"x": 1}, seed=0)
+        b = dataclasses.replace(
+            a, platform="other-os", python="0.0", numpy="0.0",
+            git_sha="deadbeef", started_at=0.0,
+        )
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_key_order_irrelevant(self):
+        a = RunManifest("cmd", {"a": 1, "b": 2})
+        b = RunManifest("cmd", {"b": 2, "a": 1})
+        assert a.fingerprint() == b.fingerprint()
+
+
+class TestSeedEntropy:
+    def test_matches_seed_sequence(self):
+        manifest = RunManifest.create("cmd", seed=1234)
+        assert manifest.seed_entropy == int(np.random.SeedSequence(1234).entropy)
+
+    def test_unseeded_is_none(self):
+        assert RunManifest.create("cmd").seed_entropy is None
+
+
+class TestJsonable:
+    def test_numpy_and_paths(self):
+        out = _jsonable({
+            "i": np.int64(3),
+            "f": np.float64(0.5),
+            "arr": np.arange(2),
+            "path": Path("/tmp/x"),
+            "nested": {"t": (1, 2)},
+        })
+        assert out == {
+            "i": 3, "f": 0.5, "arr": [0, 1], "path": "/tmp/x",
+            "nested": {"t": [1, 2]},
+        }
+        json.dumps(out)  # round-trippable
+
+    def test_unknown_objects_fall_back_to_repr(self):
+        class Opaque:
+            def __repr__(self):
+                return "<opaque>"
+
+        assert _jsonable({"o": Opaque()}) == {"o": "<opaque>"}
+
+
+class TestWriteRead:
+    def test_round_trip(self, tmp_path):
+        manifest = RunManifest.create("evaluate-abr", {"traces": "x.jsonl"}, seed=3)
+        path = manifest.write(tmp_path / "run")
+        assert path == tmp_path / "run" / MANIFEST_FILENAME
+        loaded = RunManifest.read(tmp_path / "run")
+        assert loaded["command"] == "evaluate-abr"
+        assert loaded["config"] == {"traces": "x.jsonl"}
+        assert loaded["fingerprint"] == manifest.fingerprint()
+        assert loaded["seed_entropy"] == 3
+        assert "python" in loaded and "numpy" in loaded and "platform" in loaded
+
+
+class TestGitRevision:
+    def test_inside_checkout(self):
+        sha = git_revision(Path(__file__).resolve().parent)
+        # The repo under test is a git checkout; elsewhere None is fine.
+        assert sha is None or (len(sha) == 40 and set(sha) <= set("0123456789abcdef"))
+
+    def test_outside_checkout(self, tmp_path):
+        assert git_revision(tmp_path) is None

@@ -1,0 +1,178 @@
+"""Tests for the metrics recorder (repro.obs.metrics)."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    METRICS_FILENAME,
+    MetricsRecorder,
+    NullRecorder,
+    NULL_RECORDER,
+    Timer,
+)
+
+#: Required keys of every JSONL event and their accepted types.
+SCHEMA = {
+    "kind": str,
+    "name": str,
+    "value": float,
+    "step": (int, type(None)),
+    "t": float,
+}
+KINDS = {"metric", "counter", "timer", "event"}
+
+
+def read_events(log_dir):
+    lines = (log_dir / METRICS_FILENAME).read_text().splitlines()
+    return [json.loads(line) for line in lines]
+
+
+def assert_schema(event):
+    for key, types in SCHEMA.items():
+        assert key in event, f"event missing {key!r}: {event}"
+        assert isinstance(event[key], types), f"bad type for {key!r}: {event}"
+    assert event["kind"] in KINDS
+
+
+class TestInMemory:
+    def test_record_builds_series(self):
+        rec = MetricsRecorder()
+        rec.record("loss", 1.5, step=0)
+        rec.record("loss", 1.0, step=10)
+        assert rec.series["loss"] == [(0, 1.5), (10, 1.0)]
+        assert rec.values("loss") == [1.5, 1.0]
+        assert rec.last("loss") == 1.0
+        assert rec.last("missing", default=-1.0) == -1.0
+
+    def test_record_dict_filters_non_numeric(self):
+        rec = MetricsRecorder()
+        rec.record_dict(
+            {"a": 1, "b": 2.5, "skip": "text", "flag": True}, step=3, prefix="p/"
+        )
+        assert rec.values("p/a") == [1.0]
+        assert rec.values("p/b") == [2.5]
+        assert rec.values("p/flag") == [1.0]
+        assert "p/skip" not in rec.series
+
+    def test_counters_accumulate(self):
+        rec = MetricsRecorder()
+        rec.count("hits")
+        rec.count("hits", 4)
+        assert rec.counters["hits"] == 5
+
+    def test_timer_records_elapsed(self):
+        rec = MetricsRecorder()
+        with rec.timer("phase_seconds") as t:
+            pass
+        assert t.elapsed >= 0.0
+        assert rec.values("phase_seconds") == [t.elapsed]
+
+    def test_standalone_timer(self):
+        with Timer() as t:
+            pass
+        assert t.elapsed >= 0.0
+
+
+class TestJsonl:
+    def test_every_line_matches_schema(self, tmp_path):
+        with MetricsRecorder(tmp_path) as rec:
+            rec.record("loss", 0.5, step=1)
+            rec.count("tasks", 3, pool="abc")
+            with rec.timer("map_seconds", workers=2):
+                pass
+            rec.event("phase_change", phase="train")
+        events = read_events(tmp_path)
+        assert len(events) == 4
+        for event in events:
+            assert_schema(event)
+        assert [e["kind"] for e in events] == ["metric", "counter", "timer", "event"]
+
+    def test_tags_inlined(self, tmp_path):
+        with MetricsRecorder(tmp_path) as rec:
+            rec.record("qoe", 1.0, protocol="bb")
+        (event,) = read_events(tmp_path)
+        assert event["protocol"] == "bb"
+
+    def test_appends_across_recorders(self, tmp_path):
+        with MetricsRecorder(tmp_path) as rec:
+            rec.record("a", 1.0)
+        with MetricsRecorder(tmp_path) as rec:
+            rec.record("b", 2.0)
+        assert [e["name"] for e in read_events(tmp_path)] == ["a", "b"]
+
+    def test_counter_logs_running_total(self, tmp_path):
+        with MetricsRecorder(tmp_path) as rec:
+            rec.count("hits", 2)
+            rec.count("hits", 3)
+        assert [e["value"] for e in read_events(tmp_path)] == [2.0, 5.0]
+
+
+class TestNullRecorder:
+    def test_records_nothing(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        rec = NullRecorder()
+        rec.record("loss", 1.0, step=0)
+        rec.record_dict({"a": 1.0})
+        rec.count("hits")
+        with rec.timer("seconds"):
+            pass
+        rec.event("marker")
+        rec.flush()
+        rec.close()
+        assert rec.series == {}
+        assert rec.counters == {}
+        assert not rec.enabled
+        assert list(tmp_path.iterdir()) == []  # no file, no directory
+
+    def test_shared_instance_is_null(self):
+        assert isinstance(NULL_RECORDER, NullRecorder)
+        assert NULL_RECORDER.timer("x").elapsed == 0.0
+
+
+class TestResolve:
+    def test_false_is_null(self):
+        assert MetricsRecorder.resolve(False) is NULL_RECORDER
+
+    def test_instance_passes_through(self):
+        rec = MetricsRecorder()
+        assert MetricsRecorder.resolve(rec) is rec
+
+    def test_none_defers_to_env(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_LOG_DIR", raising=False)
+        assert MetricsRecorder.resolve(None) is NULL_RECORDER
+        monkeypatch.setenv("REPRO_LOG_DIR", str(tmp_path / "logs"))
+        rec = MetricsRecorder.resolve(None)
+        try:
+            assert rec.log_dir == tmp_path / "logs"
+        finally:
+            rec.close()
+
+    def test_path_builds_recorder(self, tmp_path):
+        with MetricsRecorder.resolve(tmp_path / "run") as rec:
+            rec.record("x", 1.0)
+        assert (tmp_path / "run" / METRICS_FILENAME).exists()
+
+
+class TestRecorderObservesExec:
+    def test_parallel_map_metrics(self, tmp_path):
+        from repro.exec import ParallelMap
+
+        rec = MetricsRecorder()
+        with ParallelMap(n_workers=0, recorder=rec) as runner:
+            assert runner.map(abs, [-1, 2, -3]) == [1, 2, 3]
+        assert rec.counters["exec/tasks"] == 3
+        assert len(rec.values("exec/map_seconds")) == 1
+
+    def test_cache_metrics(self, tmp_path):
+        from repro.exec import ParallelMap, ResultCache, cached_map
+
+        cache = ResultCache(tmp_path / "cache")
+        with ParallelMap(n_workers=0) as runner:
+            cached_map(abs, [-1, -2], runner, cache=cache, keys=["k1", "k2"])
+            cached_map(abs, [-1, -2], runner, cache=cache, keys=["k1", "k2"])
+        rec = MetricsRecorder()
+        cache.record_metrics(rec)
+        assert rec.last("cache/hits") == 2.0
+        assert rec.last("cache/misses") == 2.0
+        assert rec.last("cache/hit_rate") == pytest.approx(0.5)

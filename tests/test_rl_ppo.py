@@ -121,3 +121,89 @@ class TestPPOPersistence:
         obs = np.array([1.0])
         assert ppo.predict(obs) == fresh.predict(obs)
         np.testing.assert_allclose(fresh.obs_rms.mean, ppo.obs_rms.mean)
+
+    def test_roundtrip_is_bitwise(self, tmp_path):
+        ppo = PPO(MatchParityEnv(), PPOConfig(n_steps=128), seed=0)
+        ppo.learn(256)
+        ppo.save(tmp_path / "model.npz")
+        fresh = PPO(MatchParityEnv(), PPOConfig(n_steps=128), seed=99)
+        fresh.load(tmp_path / "model.npz")
+        for w, v in zip(ppo.policy.get_weights(), fresh.policy.get_weights()):
+            assert np.array_equal(w, v)
+        assert np.array_equal(fresh.obs_rms.mean, ppo.obs_rms.mean)
+        assert np.array_equal(fresh.obs_rms.var, ppo.obs_rms.var)
+        assert fresh.obs_rms.count == ppo.obs_rms.count
+
+    @pytest.mark.parametrize(
+        "save_name, load_name",
+        [
+            ("model", "model"),          # np.savez appends .npz on save
+            ("model", "model.npz"),
+            ("model.npz", "model"),
+            ("model.npz", "model.npz"),
+            ("model.v2", "model.v2"),    # dotted stems must not be clobbered
+        ],
+    )
+    def test_path_suffix_variants_roundtrip(self, tmp_path, save_name, load_name):
+        ppo = PPO(MatchParityEnv(), PPOConfig(n_steps=128), seed=0)
+        ppo.learn(128)
+        ppo.save(tmp_path / save_name)
+        fresh = PPO(MatchParityEnv(), PPOConfig(n_steps=128), seed=99)
+        fresh.load(str(tmp_path / load_name))  # str and Path both accepted
+        assert ppo.predict(np.array([1.0])) == fresh.predict(np.array([1.0]))
+
+    def test_checkpoint_path_normalization(self):
+        from pathlib import Path
+
+        assert PPO.checkpoint_path("m") == Path("m.npz")
+        assert PPO.checkpoint_path("m.npz") == Path("m.npz")
+        assert PPO.checkpoint_path(Path("d/m.v2")) == Path("d/m.v2.npz")
+
+    def test_load_does_not_leak_file_handle(self, tmp_path):
+        ppo = PPO(MatchParityEnv(), PPOConfig(n_steps=128), seed=0)
+        ppo.save(tmp_path / "model.npz")
+        ppo.load(tmp_path / "model.npz")
+        # The checkpoint can be rewritten immediately: no open handle
+        # pins the old file (this is what the context manager guarantees).
+        ppo.save(tmp_path / "model.npz")
+        ppo.load(tmp_path / "model.npz")
+
+    def _snapshot(self, ppo):
+        return ([w.copy() for w in ppo.policy.get_weights()],
+                ppo.obs_rms.mean.copy())
+
+    def _assert_unchanged(self, ppo, snapshot):
+        weights, rms_mean = snapshot
+        for w, v in zip(weights, ppo.policy.get_weights()):
+            assert np.array_equal(w, v)
+        assert np.array_equal(rms_mean, ppo.obs_rms.mean)
+
+    def test_shape_mismatch_raises_before_mutation(self, tmp_path):
+        donor = PPO(MatchParityEnv(), PPOConfig(n_steps=128, hidden=(8, 4)), seed=0)
+        donor.learn(128)
+        donor.save(tmp_path / "model.npz")
+        ppo = PPO(MatchParityEnv(), PPOConfig(n_steps=128, hidden=(32, 16)), seed=1)
+        before = self._snapshot(ppo)
+        with pytest.raises(ValueError, match="shape"):
+            ppo.load(tmp_path / "model.npz")
+        self._assert_unchanged(ppo, before)
+
+    def test_param_count_mismatch_raises_before_mutation(self, tmp_path):
+        donor = PPO(MatchParityEnv(), PPOConfig(n_steps=128, hidden=(8,)), seed=0)
+        donor.save(tmp_path / "model.npz")
+        ppo = PPO(MatchParityEnv(), PPOConfig(n_steps=128, hidden=(32, 16)), seed=1)
+        before = self._snapshot(ppo)
+        with pytest.raises(ValueError, match="parameter arrays"):
+            ppo.load(tmp_path / "model.npz")
+        self._assert_unchanged(ppo, before)
+
+    def test_missing_rms_arrays_raise(self, tmp_path):
+        ppo = PPO(MatchParityEnv(), PPOConfig(n_steps=128), seed=0)
+        ppo.save(tmp_path / "model.npz")
+        with np.load(tmp_path / "model.npz") as data:
+            arrays = {k: data[k] for k in data.files if not k.startswith("rms_")}
+        np.savez(tmp_path / "broken.npz", **arrays)
+        before = self._snapshot(ppo)
+        with pytest.raises(ValueError, match="rms_"):
+            ppo.load(tmp_path / "broken.npz")
+        self._assert_unchanged(ppo, before)
