@@ -52,11 +52,18 @@ class MPC(AbrPolicy):
         #: What the cached plan tables were built for, so a reset with a
         #: video of a different bitrate count rebuilds them.
         self._combos_key: tuple[int, int] | None = None
+        self._qualities: np.ndarray | None = None
         self._errors: list[float] = []
         self._last_prediction: float | None = None
 
     def reset(self, video: Video) -> None:
         self._video = video
+        # The per-bitrate quality scores depend only on the video's
+        # bitrate ladder, not the playback state: computed once here
+        # instead of once per chunk in :meth:`select`.
+        self._qualities = np.array(
+            [self.weights.quality(b) for b in video.bitrates_kbps]
+        )
         self._errors = []
         self._last_prediction = None
         key = (video.n_bitrates, self.horizon)
@@ -99,9 +106,7 @@ class MPC(AbrPolicy):
         n = combos.shape[0]
         rate = predicted * 1e6 / 8.0 * PACKET_PAYLOAD_PORTION  # bytes/s
 
-        qualities = np.array(
-            [self.weights.quality(b) for b in video.bitrates_kbps]
-        )
+        qualities = self._qualities
         buffer = np.full(n, observation.buffer_seconds)
         total = np.zeros(n)
         prev_q = (

@@ -7,9 +7,11 @@ neurons).  It provides:
 
 - :mod:`repro.nn.initializers` -- weight initialization schemes,
 - :mod:`repro.nn.layers` -- dense layers and activation functions with
-  hand-written backward passes,
-- :mod:`repro.nn.network` -- the :class:`MLP` container,
-- :mod:`repro.nn.optim` -- SGD / RMSProp / Adam optimizers,
+  hand-written backward passes through preallocated scratch,
+- :mod:`repro.nn.network` -- the :class:`MLP` container with its flat
+  contiguous parameter/gradient buffers (per-layer views),
+- :mod:`repro.nn.optim` -- SGD / RMSProp / Adam optimizers with fused
+  in-place steps, plus flat-buffer gradient clipping,
 - :mod:`repro.nn.distributions` -- categorical and diagonal-Gaussian action
   distributions with analytic log-probability and entropy gradients.
 """
@@ -17,7 +19,7 @@ neurons).  It provides:
 from repro.nn.distributions import Categorical, DiagGaussian
 from repro.nn.layers import ACTIVATIONS, Dense
 from repro.nn.network import MLP
-from repro.nn.optim import SGD, Adam, RMSProp, clip_grad_norm
+from repro.nn.optim import SGD, Adam, RMSProp, clip_grad_norm, clip_grad_norm_flat
 
 __all__ = [
     "ACTIVATIONS",
@@ -29,4 +31,5 @@ __all__ = [
     "RMSProp",
     "SGD",
     "clip_grad_norm",
+    "clip_grad_norm_flat",
 ]

@@ -1,4 +1,25 @@
-"""The :class:`MLP` container: a stack of Dense layers with activations."""
+"""The :class:`MLP` container: a stack of Dense layers with activations.
+
+All parameters live in **one contiguous flat float64 buffer** (and all
+gradients in a second), with each layer's ``W``/``b``/``dW``/``db``
+exposed as reshaped views.  That layout is what makes the training hot
+path cheap: the optimizer updates every parameter of the network in a
+single fused in-place pass over :attr:`MLP.flat_params` /
+:attr:`MLP.flat_grads` instead of looping over per-layer arrays, and
+gradient clipping reduces one flat vector.
+
+Aliasing rules:
+
+- never rebind ``layer.W`` / ``layer.b`` -- assign through the views
+  (``W[...] = new``) or everything sharing the flat buffer silently
+  desynchronizes;
+- :meth:`MLP.forward` returns a scratch view owned by the final layer,
+  valid until the next forward of the same network; copy to keep.
+
+Checkpoints stay **per-layer**: :meth:`get_weights`/:meth:`set_weights`
+pack/unpack at the boundary, so ``.npz`` files written before the flat
+layout load unchanged (and vice versa).
+"""
 
 from __future__ import annotations
 
@@ -9,6 +30,8 @@ import numpy as np
 from repro.nn.layers import Activation, Dense
 
 __all__ = ["MLP"]
+
+_F64 = np.dtype(np.float64)
 
 
 class MLP:
@@ -41,12 +64,35 @@ class MLP:
         if len(sizes) < 2:
             raise ValueError("MLP needs at least an input and an output size")
         self.sizes = tuple(int(s) for s in sizes)
+        self.activation = activation
+        self.out_activation = out_activation
         self._stack: list[Dense | Activation] = []
         for i, (fan_in, fan_out) in enumerate(zip(self.sizes[:-1], self.sizes[1:])):
             last = i == len(self.sizes) - 2
             gain = out_gain if last else np.sqrt(2.0)
             self._stack.append(Dense(fan_in, fan_out, rng, gain=gain))
             self._stack.append(Activation(out_activation if last else activation))
+        self._dense = [layer for layer in self._stack if isinstance(layer, Dense)]
+        # (dense, activation) pairs for the unrolled hot loops below; the
+        # stack is strictly alternating by construction.
+        self._pairs = list(zip(self._stack[0::2], self._stack[1::2]))
+        # Batch-size-keyed execution plans: prebound per-layer operand
+        # tuples for the steady-state forward/backward loops (see
+        # :meth:`_forward_fast`).  Built lazily after a generic pass and
+        # invalidated whenever buffers are rebound (:meth:`pack_into`,
+        # scratch regrowth, ``share_forward_scratch``).
+        self._fplan: list[tuple] | None = None
+        self._fplan_n = -1
+        self._bplan: list[tuple] | None = None
+        self._bplan_n = -1
+        n = sum(d.W.size + d.b.size for d in self._dense)
+        self.flat_params = np.empty(n)
+        self.flat_grads = np.zeros(n)
+        #: (start, stop) of every parameter array inside the flat buffer,
+        #: in :meth:`parameters` order -- the reduction segments that keep
+        #: the flat grad-norm bitwise equal to the per-layer sum order.
+        self.param_slices: list[tuple[int, int]] = []
+        self.pack_into(self.flat_params, self.flat_grads, 0)
 
     @property
     def in_dim(self) -> int:
@@ -56,51 +102,283 @@ class MLP:
     def out_dim(self) -> int:
         return self.sizes[-1]
 
+    def pack_into(self, flat_params: np.ndarray, flat_grads: np.ndarray, offset: int = 0) -> int:
+        """Bind every layer's parameters into views of the given buffers.
+
+        Values are copied in layer order starting at ``offset``; after the
+        call :attr:`flat_params`/:attr:`flat_grads` are the (sub)views of
+        the supplied buffers covering this network, and
+        :attr:`param_slices` holds *absolute* offsets into them.  Lets a
+        container (e.g. ``ActorCritic``) pack several networks plus loose
+        parameters into one master buffer.  Returns the end offset.
+        """
+        start = offset
+        self._fplan = self._bplan = None
+        self._fplan_n = self._bplan_n = -1
+        self.param_slices = []
+        for layer in self._dense:
+            for size in (layer.W.size, layer.b.size):
+                self.param_slices.append((offset, offset + size))
+                offset += size
+        bound = start
+        for layer in self._dense:
+            bound = layer.bind(flat_params, flat_grads, bound)
+        self.flat_params = flat_params[start:offset]
+        self.flat_grads = flat_grads[start:offset]
+        return offset
+
     def forward(self, x: np.ndarray) -> np.ndarray:
         """Run the network on a batch ``(n, in_dim)`` and return ``(n, out_dim)``.
 
         A 2-D float64 array is used as-is (no copy) -- this is the shape
         every ``predict`` call in a trace rollout already supplies, so the
         conversion below only runs for lists, scalars-in-1-D and other
-        dtypes.
+        dtypes.  The returned array is scratch owned by the final layer:
+        valid until this network's next forward, copy to keep.
         """
-        if not (isinstance(x, np.ndarray) and x.ndim == 2 and x.dtype == np.float64):
+        if not (type(x) is np.ndarray and x.dtype is _F64 and x.ndim == 2):
             x = np.atleast_2d(np.asarray(x, dtype=float))
         if x.shape[1] != self.in_dim:
             raise ValueError(f"expected input dim {self.in_dim}, got {x.shape[1]}")
-        for layer in self._stack:
-            x = layer.forward(x)
+        return self._forward_fast(x)
+
+    def _forward_fast(self, x: np.ndarray) -> np.ndarray:
+        """The hot loop of :meth:`forward`, minus input coercion.
+
+        The caller guarantees ``x`` is a float64 matrix of width
+        ``in_dim`` (PPO's update loop does; its minibatches are slices of
+        preallocated float64 epoch buffers).
+        """
+        n = x.shape[0]
+        if n == self._fplan_n:
+            # Plan path: the exact ufunc sequence of the generic loop
+            # below on prebound operands -- no shape checks, no
+            # per-layer attribute chasing.  Bitwise identical by
+            # construction (same ufuncs, same buffers, same order).
+            for dense, W, b, y, fwd, act, ay, keep_x in self._fplan:
+                dense._x = x
+                np.matmul(x, W, out=y)
+                y += b
+                if fwd is None:  # linear head: identity
+                    x = y
+                else:
+                    fwd(y, ay)
+                    act._cached = y if keep_x else ay
+                    x = ay
+            return x
+        # Generic (unrolled) layer loop: same ufunc sequence
+        # Dense.forward / Activation.forward would run (the input is
+        # always a float64 matrix here), minus two method frames and
+        # their re-checks per layer.  Runs once per batch-size change;
+        # the plan rebuilt from its final buffer bindings serves every
+        # later same-size call.
+        for dense, act in self._pairs:
+            dense._x = x
+            y = dense._y
+            if y.shape[0] != n:  # steady state: scratch is exactly n rows
+                if y.shape[0] < n:
+                    dense._y = y = np.empty((n, dense.W.shape[1]))
+                    self._bplan_n = -1  # backward plan caches are stale
+                else:
+                    y = y[:n]
+            np.matmul(x, dense.W, out=y)
+            y += dense.b
+            fwd = act._fwd
+            if fwd is None:  # linear head: identity
+                x = y
+            else:
+                ay = act._y
+                if ay.shape != y.shape:
+                    if ay.shape[0] < n or ay.shape[1] != y.shape[1]:
+                        act._y = ay = np.empty((n, y.shape[1]))
+                        self._bplan_n = -1
+                    else:
+                        ay = ay[:n]
+                fwd(y, ay)
+                act._cached = y if act._keep == "x" else ay
+                x = ay
+        self._build_fplan(n)
         return x
+
+    def _build_fplan(self, n: int) -> None:
+        plan = []
+        for dense, act in self._pairs:
+            y = dense._y if dense._y.shape[0] == n else dense._y[:n]
+            fwd = act._fwd
+            if fwd is None:
+                ay = None
+            else:
+                ay = act._y if act._y.shape[0] == n else act._y[:n]
+            plan.append(
+                (dense, dense.W, dense.b, y, fwd, act, ay, act._keep == "x")
+            )
+        self._fplan = plan
+        self._fplan_n = n
 
     __call__ = forward
 
-    def backward(self, dout: np.ndarray) -> np.ndarray:
-        """Backpropagate ``dLoss/dOutput``; returns ``dLoss/dInput``."""
-        for layer in reversed(self._stack):
-            dout = layer.backward(dout)
+    def backward(self, dout: np.ndarray, need_input_grad: bool = True) -> np.ndarray | None:
+        """Backpropagate ``dLoss/dOutput``; returns ``dLoss/dInput``.
+
+        ``dout`` may be scaled in place by activation layers; pass a copy
+        if the caller needs it afterwards.  With ``need_input_grad=False``
+        the caller promises not to use the return value, letting the hot
+        path skip the first layer's (otherwise dead) input-gradient
+        matmul; parameter gradients are unaffected.  The result may then
+        be ``None``.
+        """
+        fast = type(dout) is np.ndarray and dout.dtype is _F64 and dout.ndim == 2
+        if fast:
+            for dense in self._dense:
+                x = dense._x
+                if not (type(x) is np.ndarray and x.dtype is _F64 and x.ndim == 2):
+                    fast = False
+                    break
+        if not fast:
+            for layer in reversed(self._stack):
+                dout = layer.backward(dout)
+            return dout
+        return self._backward_fast(dout, need_input_grad)
+
+    def _backward_fast(
+        self, dout: np.ndarray, need_input_grad: bool = True
+    ) -> np.ndarray | None:
+        """The hot loop of :meth:`backward`, minus the fast-path probe.
+
+        The caller guarantees ``dout`` and every layer's cached input are
+        float64 matrices (true whenever the preceding forward went through
+        :meth:`_forward_fast`).
+        """
+        if not need_input_grad and dout.shape[0] == self._bplan_n:
+            # Plan path (mirror of the forward plan): prebound operands,
+            # including the ``W.T`` views and the activation caches --
+            # which alias the same memory the matching-size forward just
+            # wrote, whichever loop ran it.  PPO's update path only ever
+            # calls with ``need_input_grad=False``, so the plan covers
+            # just that case; the generic loop below handles the rest.
+            first = self._pairs[0][0]
+            for dense, grad, cached, g, dW, db, gW, gb, dx, WT, k1 in self._bplan:
+                if grad is not None:
+                    dout = grad(cached, dout, g)
+                x = dense._x
+                if dense._fresh:
+                    np.matmul(x.T, dout, out=dW)
+                    np.add.reduce(dout, axis=0, out=db)
+                    dense._fresh = False
+                else:
+                    np.matmul(x.T, dout, out=gW)
+                    dW += gW
+                    np.add.reduce(dout, axis=0, out=gb)
+                    db += gb
+                if dense is first:
+                    return None
+                if k1:
+                    np.multiply(dout, WT, out=dx)
+                else:
+                    np.matmul(dout, WT, out=dx)
+                dout = dx
+            return dout  # unreachable: the first-layer entry returned above
+        # Unrolled mirror of the forward loop (see Dense.backward /
+        # Activation.backward for the per-layer semantics being inlined).
+        n0 = dout.shape[0]
+        first = None if need_input_grad else self._pairs[0][0]
+        for dense, act in reversed(self._pairs):
+            grad = act._grad
+            if grad is not None:
+                cached = act._cached
+                if cached is None:
+                    raise RuntimeError("backward called before forward")
+                if act._g.shape != cached.shape:
+                    act._g = np.empty(cached.shape)
+                dout = grad(cached, dout, act._g)
+            x = dense._x
+            if dense._fresh:
+                np.matmul(x.T, dout, out=dense.dW)
+                np.add.reduce(dout, axis=0, out=dense.db)
+                dense._fresh = False
+            else:
+                np.matmul(x.T, dout, out=dense._gW)
+                dense.dW += dense._gW
+                np.add.reduce(dout, axis=0, out=dense._gb)
+                dense.db += dense._gb
+            if dense is first:
+                self._build_bplan(n0)
+                return None
+            n = dout.shape[0]
+            dx = dense._dx
+            if dx.shape[0] != n:
+                if dx.shape[0] < n:
+                    dense._dx = dx = np.empty((n, dense.W.shape[0]))
+                else:
+                    dx = dx[:n]
+            if dout.shape[1] == 1:
+                # k=1 GEMM is an outer product: one multiply per output
+                # element, no accumulation, so the broadcast ufunc is
+                # bitwise the matmul at a third of its cost (np.matmul
+                # takes a slow path on this shape).  This is every
+                # backward through a value head.
+                np.multiply(dout, dense.W.T, out=dx)
+            else:
+                np.matmul(dout, dense.W.T, out=dx)
+            dout = dx
         return dout
 
+    def _build_bplan(self, n: int) -> None:
+        plan = []
+        for dense, act in reversed(self._pairs):
+            grad = act._grad
+            if grad is None:
+                cached = g = None
+            else:
+                y = dense._y if dense._y.shape[0] == n else dense._y[:n]
+                ay = act._y if act._y.shape[0] == n else act._y[:n]
+                cached = y if act._keep == "x" else ay
+                g = act._g
+                if g.shape != cached.shape:  # not regrown yet: no plan
+                    return
+            dx = dense._dx
+            if dx.shape[0] != n:
+                if dx.shape[0] < n:
+                    dx = None  # first layer under need_input_grad=False
+                else:
+                    dx = dx[:n]
+            plan.append(
+                (dense, grad, cached, g, dense.dW, dense.db,
+                 dense._gW, dense._gb, dx, dense.W.T,
+                 dense.W.shape[1] == 1)
+            )
+        self._bplan = plan
+        self._bplan_n = n
+
+    def mark_grads_zero(self) -> None:
+        """Tell the layers their gradient views were just zeroed externally
+        (e.g. through a master flat buffer), enabling the direct-write
+        first backward."""
+        for dense in self._dense:
+            dense._fresh = True
+
     def zero_grad(self) -> None:
-        for layer in self._stack:
-            if isinstance(layer, Dense):
-                layer.zero_grad()
+        self.flat_grads[:] = 0.0
+        self.mark_grads_zero()
 
     def parameters(self) -> list[np.ndarray]:
         params: list[np.ndarray] = []
-        for layer in self._stack:
-            if isinstance(layer, Dense):
-                params.extend(layer.parameters())
+        for layer in self._dense:
+            params.extend(layer.parameters())
         return params
 
     def gradients(self) -> list[np.ndarray]:
         grads: list[np.ndarray] = []
-        for layer in self._stack:
-            if isinstance(layer, Dense):
-                grads.extend(layer.gradients())
+        for layer in self._dense:
+            grads.extend(layer.gradients())
         return grads
 
     def get_weights(self) -> list[np.ndarray]:
-        """Return copies of all parameter arrays (for checkpointing)."""
+        """Return copies of all parameter arrays (for checkpointing).
+
+        Deliberately per-layer, not flat: the ``.npz`` checkpoint format
+        predates the flat buffer and stays compatible in both directions.
+        """
         return [p.copy() for p in self.parameters()]
 
     def set_weights(self, weights: Sequence[np.ndarray]) -> None:
@@ -113,14 +391,41 @@ class MLP:
             p[:] = w
 
     def num_parameters(self) -> int:
-        return sum(p.size for p in self.parameters())
+        return self.flat_params.size
+
+    # -- pickling ------------------------------------------------------------
+    #
+    # Default pickling would serialize every scratch buffer and, worse,
+    # sever the view relationship between layers and the flat buffer
+    # (each view pickles as an independent copy).  Serialize the
+    # architecture plus per-layer weights instead and rebuild the flat
+    # layout on load -- same form as the on-disk checkpoint.
+
+    def __getstate__(self) -> dict:
+        return {
+            "sizes": self.sizes,
+            "activation": self.activation,
+            "out_activation": self.out_activation,
+            "weights": self.get_weights(),
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        self.__init__(
+            state["sizes"],
+            np.random.default_rng(0),
+            activation=state["activation"],
+            out_activation=state["out_activation"],
+        )
+        self.set_weights(state["weights"])
 
     def __cache_state__(self) -> dict:
         """Identity for content-addressed caching: architecture + weights.
 
         Cached forward activations and accumulated gradients are run
         artifacts, not identity, so they are deliberately excluded (see
-        :func:`repro.exec.cache.fingerprint`).
+        :func:`repro.exec.cache.fingerprint`).  The weight arrays are the
+        per-layer *views* into the flat buffer -- same bytes as the
+        pre-flat standalone arrays, so fingerprints are unchanged.
         """
         return {
             "sizes": self.sizes,

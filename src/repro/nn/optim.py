@@ -1,12 +1,41 @@
-"""First-order optimizers operating on lists of parameter arrays in place."""
+"""First-order optimizers operating on parameter arrays in place.
+
+Every optimizer keeps the historical list-of-arrays API, but each update
+is now a *fused in-place pass*: scalar ufuncs with explicit ``out=``
+targets into persistent scratch, allocating nothing in steady state.
+Callers that pack their parameters into one flat buffer (see
+:meth:`repro.nn.network.MLP.pack_into` and
+``ActorCritic.flat_params``) pass ``[flat_params]``/``[flat_grads]`` and
+get a single pass over one contiguous array with one first-moment and
+one second-moment buffer -- no per-array Python loop at all.  That is
+how :class:`repro.rl.ppo.PPO` drives :class:`Adam`.
+
+The fused op order replicates the historical expressions exactly
+(e.g. Adam's ``v += (1 - beta2) * g * g`` multiplies the scalar into
+``g`` first, then by ``g`` again), so updates are bitwise identical to
+the allocating implementation.
+
+:func:`clip_grad_norm_flat` is the flat-buffer companion of
+:func:`clip_grad_norm`: one squared pass over the flat gradient, with
+the reduction *segmented per parameter array in layer order* so the norm
+accumulates in exactly the historical float order.
+"""
 
 from __future__ import annotations
 
+import math
 from typing import Sequence
 
 import numpy as np
 
-__all__ = ["Adam", "Optimizer", "RMSProp", "SGD", "clip_grad_norm"]
+__all__ = [
+    "Adam",
+    "Optimizer",
+    "RMSProp",
+    "SGD",
+    "clip_grad_norm",
+    "clip_grad_norm_flat",
+]
 
 
 def clip_grad_norm(grads: Sequence[np.ndarray], max_norm: float) -> float:
@@ -19,6 +48,56 @@ def clip_grad_norm(grads: Sequence[np.ndarray], max_norm: float) -> float:
         scale = max_norm / (total + 1e-12)
         for g in grads:
             g *= scale
+    return total
+
+
+def clip_grad_norm_flat(
+    flat_grad: np.ndarray,
+    max_norm: float,
+    segments: Sequence[tuple[int, int]] | None = None,
+    scratch: np.ndarray | None = None,
+    segment_views: Sequence[np.ndarray] | None = None,
+) -> float:
+    """Clip one flat gradient vector in place; returns the pre-clip norm.
+
+    Equivalent to :func:`clip_grad_norm` over the per-array views of
+    ``flat_grad``: the squared values are reduced segment by segment (in
+    the given order) and accumulated as Python floats, reproducing the
+    historical per-layer summation order bit for bit -- ``np.sum`` over a
+    contiguous 1-D segment pairwise-sums the same element sequence as
+    over the original 2-D array.  With ``segments=None`` the whole vector
+    is one segment (a different -- still deterministic -- float order; do
+    not mix the two on the same training run).
+
+    ``scratch`` is an optional caller-owned buffer of ``flat_grad``'s
+    shape receiving the squared values, making the call allocation-free.
+    A steady-state caller may additionally pass ``segment_views`` --
+    precomputed per-segment views *of that same scratch* -- to skip
+    re-slicing it on every call (PPO does; see ``PPO.__init__``).
+    """
+    if scratch is None or scratch.shape != flat_grad.shape:
+        scratch = np.empty_like(flat_grad)
+        segment_views = None
+    np.multiply(flat_grad, flat_grad, out=scratch)
+    # np.add.reduce == np.sum bit for bit (np.sum is a wrapper around it);
+    # calling the ufunc directly skips ~2 Python frames per segment.
+    reduce = np.add.reduce
+    if segment_views is not None:
+        total = 0.0
+        for seg in segment_views:
+            total += float(reduce(seg))
+    elif segments is None:
+        total = float(reduce(scratch))
+    else:
+        total = 0.0
+        for start, stop in segments:
+            total += float(reduce(scratch[start:stop]))
+    # math.sqrt of a Python float == np.sqrt bit for bit (both are the
+    # correctly-rounded IEEE sqrt; math.sqrt(nan) is nan, not an error),
+    # minus the scalar-ufunc dispatch.
+    total = math.sqrt(total)
+    if max_norm > 0.0 and total > max_norm:
+        flat_grad *= max_norm / (total + 1e-12)
     return total
 
 
@@ -48,12 +127,14 @@ class SGD(Optimizer):
             raise ValueError(f"momentum must be in [0, 1), got {momentum}")
         self.momentum = momentum
         self._velocity = [np.zeros_like(p) for p in self.params]
+        self._s = [np.empty_like(p) for p in self.params]
 
     def step(self, grads: Sequence[np.ndarray]) -> None:
         self._check(grads)
-        for p, g, v in zip(self.params, grads, self._velocity):
+        for p, g, v, s in zip(self.params, grads, self._velocity, self._s):
             v *= self.momentum
-            v -= self.lr * g
+            np.multiply(g, self.lr, out=s)  # == v -= lr * g, without the temp
+            v -= s
             p += v
 
 
@@ -71,17 +152,33 @@ class RMSProp(Optimizer):
         self.decay = decay
         self.eps = eps
         self._sq = [np.zeros_like(p) for p in self.params]
+        self._s1 = [np.empty_like(p) for p in self.params]
+        self._s2 = [np.empty_like(p) for p in self.params]
 
     def step(self, grads: Sequence[np.ndarray]) -> None:
         self._check(grads)
-        for p, g, s in zip(self.params, grads, self._sq):
-            s *= self.decay
-            s += (1.0 - self.decay) * g * g
-            p -= self.lr * g / (np.sqrt(s) + self.eps)
+        for p, g, sq, s1, s2 in zip(self.params, grads, self._sq, self._s1, self._s2):
+            sq *= self.decay
+            # s += (1 - decay) * g * g, left-to-right like the original.
+            np.multiply(g, 1.0 - self.decay, out=s1)
+            s1 *= g
+            sq += s1
+            # p -= lr * g / (sqrt(s) + eps)
+            np.multiply(g, self.lr, out=s1)
+            np.sqrt(sq, out=s2)
+            s2 += self.eps
+            s1 /= s2
+            p -= s1
 
 
 class Adam(Optimizer):
-    """Adam (Kingma & Ba), the stable-baselines PPO default."""
+    """Adam (Kingma & Ba), the stable-baselines PPO default.
+
+    With a single flat parameter buffer this is one fused sweep: one
+    ``m``, one ``v``, two scratch vectors, eight ufunc calls -- versus
+    the historical ~12 calls *per parameter array* with seven fresh
+    temporaries each.
+    """
 
     def __init__(
         self,
@@ -97,16 +194,39 @@ class Adam(Optimizer):
         self.eps = eps
         self._m = [np.zeros_like(p) for p in self.params]
         self._v = [np.zeros_like(p) for p in self.params]
+        self._s1 = [np.empty_like(p) for p in self.params]
+        self._s2 = [np.empty_like(p) for p in self.params]
         self._t = 0
+        # Cached single-entry ``pairs`` tuple for the flat-buffer caller
+        # (rebuilt only if the gradient array's identity changes).
+        self._pair1: tuple | None = None
 
     def step(self, grads: Sequence[np.ndarray]) -> None:
         self._check(grads)
         self._t += 1
-        bc1 = 1.0 - self.beta1**self._t
-        bc2 = 1.0 - self.beta2**self._t
-        for p, g, m, v in zip(self.params, grads, self._m, self._v):
-            m *= self.beta1
-            m += (1.0 - self.beta1) * g
-            v *= self.beta2
-            v += (1.0 - self.beta2) * g * g
-            p -= self.lr * (m / bc1) / (np.sqrt(v / bc2) + self.eps)
+        lr, beta1, beta2, eps = self.lr, self.beta1, self.beta2, self.eps
+        bc1 = 1.0 - beta1**self._t
+        bc2 = 1.0 - beta2**self._t
+        if len(self.params) == 1:  # flat-buffer caller: skip the zip machinery
+            pairs = self._pair1
+            if pairs is None or pairs[0][1] is not grads[0]:
+                self._pair1 = pairs = ((self.params[0], grads[0], self._m[0],
+                                        self._v[0], self._s1[0], self._s2[0]),)
+        else:
+            pairs = zip(self.params, grads, self._m, self._v, self._s1, self._s2)
+        for p, g, m, v, s1, s2 in pairs:
+            m *= beta1
+            np.multiply(g, 1.0 - beta1, out=s1)  # m += (1-b1) * g
+            m += s1
+            v *= beta2
+            np.multiply(g, 1.0 - beta2, out=s1)  # v += (1-b2) * g * g
+            s1 *= g
+            v += s1
+            # p -= lr * (m / bc1) / (sqrt(v / bc2) + eps)
+            np.divide(m, bc1, out=s1)
+            s1 *= lr
+            np.divide(v, bc2, out=s2)
+            np.sqrt(s2, out=s2)
+            s2 += eps
+            s1 /= s2
+            p -= s1

@@ -74,6 +74,11 @@ class RolloutBuffer:
         self.advantages = np.zeros(lead)
         self.returns = np.zeros(lead)
         self.pos = 0
+        # Persistent minibatch index buffer (and its identity fill),
+        # reshuffled in place each epoch instead of allocating a fresh
+        # permutation; see :meth:`minibatches`.
+        self._perm: np.ndarray | None = None
+        self._perm_arange: np.ndarray | None = None
 
     @property
     def full(self) -> bool:
@@ -211,13 +216,39 @@ class RolloutBuffer:
             self.returns[:n].reshape(-1),
         )
 
+    def epoch_permutation(self, rng: np.random.Generator) -> np.ndarray:
+        """Return a fresh shuffled permutation of all stored flat indices.
+
+        The returned array is one persistent index buffer that is refilled
+        and shuffled in place per call -- draw-for-draw the RNG stream of
+        the historical ``rng.permutation(self.size)`` (which is defined as
+        shuffle-of-arange), with zero steady-state allocation.  The buffer
+        is invalidated by the next call; consecutive ``batch_size`` slices
+        of it are the epoch's minibatches (see :meth:`minibatches`), which
+        lets a caller gather the whole epoch's rows in one pass and slice
+        contiguous minibatch views off the result.
+        """
+        n = self.size
+        if self._perm is None or self._perm.shape[0] != n:
+            self._perm_arange = np.arange(n)
+            self._perm = np.empty_like(self._perm_arange)
+        self._perm[:] = self._perm_arange
+        rng.shuffle(self._perm)
+        return self._perm
+
     def minibatches(
         self, batch_size: int, rng: np.random.Generator
     ) -> Iterator[np.ndarray]:
-        """Yield shuffled flat index arrays covering all stored transitions."""
-        idx = rng.permutation(self.size)
+        """Yield shuffled flat index arrays covering all stored transitions.
+
+        The yielded arrays are views of the :meth:`epoch_permutation`
+        buffer and are invalidated by the next ``minibatches`` /
+        ``epoch_permutation`` call; do not interleave two iterations over
+        the same buffer.
+        """
+        perm = self.epoch_permutation(rng)
         for start in range(0, self.size, batch_size):
-            yield idx[start : start + batch_size]
+            yield perm[start : start + batch_size]
 
     def _episode_totals(self) -> list[float]:
         """Total reward of each *completed* episode in the stored slice."""

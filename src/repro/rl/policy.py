@@ -12,6 +12,8 @@ from repro.rl.spaces import Box, Discrete, Space
 
 __all__ = ["ActorCritic"]
 
+_F64 = np.dtype(np.float64)
+
 
 class ActorCritic:
     """A policy network and a value network with a common interface.
@@ -54,6 +56,74 @@ class ActorCritic:
         else:
             self.log_std = np.full(out_dim, float(init_log_std))
             self._dlog_std = np.zeros(out_dim)
+        self._pack()
+
+    def _pack(self) -> None:
+        """Pack both networks (and ``log_std``) into one master flat buffer.
+
+        Layout order matches :meth:`parameters` -- policy layers, then
+        ``log_std``, then value layers -- so :attr:`param_slices` gives
+        the per-array reduction segments of the flat gradient in the
+        historical clipping order.  The optimizer then updates the whole
+        policy in a single fused pass over :attr:`flat_params` /
+        :attr:`flat_grads`.
+        """
+        n_log_std = 0 if self.log_std is None else self.log_std.size
+        total = (
+            self.policy_net.num_parameters()
+            + n_log_std
+            + self.value_net.num_parameters()
+        )
+        self.flat_params = np.empty(total)
+        self.flat_grads = np.zeros(total)
+        offset = self.policy_net.pack_into(self.flat_params, self.flat_grads, 0)
+        self.param_slices: list[tuple[int, int]] = list(self.policy_net.param_slices)
+        if self.log_std is not None:
+            end = offset + n_log_std
+            self.flat_params[offset:end] = self.log_std
+            self.log_std = self.flat_params[offset:end]
+            self.flat_grads[offset:end] = self._dlog_std
+            self._dlog_std = self.flat_grads[offset:end]
+            self.param_slices.append((offset, end))
+            offset = end
+        offset = self.value_net.pack_into(self.flat_params, self.flat_grads, offset)
+        self.param_slices.extend(self.value_net.param_slices)
+        assert offset == total
+        # Hot-loop plumbing: every dense layer of both nets (zero_grad
+        # marks them in one sweep) and the distribution scratch dict (see
+        # repro.nn.distributions._scratch_buf).
+        self._dense_layers = self.policy_net._dense + self.value_net._dense
+        self._dist_scratch: dict = {}
+
+    def share_forward_scratch(self) -> None:
+        """Alias the value net's forward/backward scratch onto the policy net's.
+
+        Opt-in cache optimization for drivers whose call order is strictly
+        *policy forward -> policy backward -> value forward -> value
+        backward* within every step (PPO's update loop and rollout both
+        are): the two nets then never need their activation/input-gradient
+        scratch at the same time, and sharing one set halves the hot
+        working set.  Do NOT call this from a driver that backpropagates
+        one net after forwarding the other (e.g. REINFORCE forwards the
+        value net first and backpropagates it last) -- the second forward
+        overwrites the cached activations the later backward would need.
+        Only same-shaped buffers are shared; if a layer's scratch is later
+        regrown for a bigger batch the aliasing quietly ends, costing only
+        the optimization.
+        """
+        for (dp, ap), (dv, av) in zip(self.policy_net._pairs, self.value_net._pairs):
+            if dp.out_dim == dv.out_dim:
+                dv._y = dp._y
+                dv._gW = dp._gW
+                dv._gb = dp._gb
+                if ap.name == av.name:
+                    av._y = ap._y
+                    av._g = ap._g
+            if dp.in_dim == dv.in_dim:
+                dv._dx = dp._dx
+        # The value net's execution plans (if any were already built)
+        # reference the buffers just swapped out.
+        self.value_net._fplan_n = self.value_net._bplan_n = -1
 
     # -- forward passes ----------------------------------------------------
 
@@ -66,7 +136,7 @@ class ActorCritic:
         out = self.policy_net.forward(obs)
         if self.discrete:
             return Categorical(out)
-        return DiagGaussian(out, self.log_std)
+        return DiagGaussian(out, self.log_std, scratch=self._dist_scratch)
 
     def value(self, obs: np.ndarray) -> np.ndarray:
         """Return state-value estimates ``(n,)`` for a batch."""
@@ -113,10 +183,12 @@ class ActorCritic:
     # -- gradients ---------------------------------------------------------
 
     def zero_grad(self) -> None:
-        self.policy_net.zero_grad()
-        self.value_net.zero_grad()
-        if self.log_std is not None:
-            self._dlog_std[:] = 0.0
+        # One sweep over the master gradient buffer covers both networks
+        # and the log-std view; the dense layers just get their
+        # known-zero flag set (see Dense._fresh).
+        self.flat_grads[:] = 0.0
+        for dense in self._dense_layers:
+            dense._fresh = True
 
     def policy_backward(self, d_out: np.ndarray, d_log_std: np.ndarray | None = None) -> None:
         """Backpropagate a gradient w.r.t. the policy head outputs.
@@ -125,7 +197,7 @@ class ActorCritic:
         mean (continuous); ``d_log_std`` accumulates into the log-std
         parameter for continuous policies.
         """
-        self.policy_net.backward(d_out)
+        self.policy_net.backward(d_out, need_input_grad=False)
         if d_log_std is not None:
             if self.log_std is None:
                 raise ValueError("d_log_std given for a discrete policy")
@@ -133,7 +205,9 @@ class ActorCritic:
 
     def value_backward(self, d_values: np.ndarray) -> None:
         """Backpropagate a gradient w.r.t. the value outputs ``(n,)``."""
-        self.value_net.backward(np.asarray(d_values, dtype=float)[:, None])
+        if not (type(d_values) is np.ndarray and d_values.dtype is _F64):
+            d_values = np.asarray(d_values, dtype=float)
+        self.value_net.backward(d_values[:, None], need_input_grad=False)
 
     # -- parameter plumbing --------------------------------------------------
 
@@ -158,3 +232,34 @@ class ActorCritic:
             raise ValueError(f"expected {len(params)} arrays, got {len(weights)}")
         for p, w in zip(params, weights):
             p[:] = w
+
+    # -- pickling ------------------------------------------------------------
+    #
+    # The per-layer views would pickle as independent copies, severing
+    # them from the master flat buffer; rebuild the packing on load so an
+    # unpickled policy (e.g. a Pensieve target shipped to a subprocess
+    # env worker) keeps the flat-layout invariants.
+
+    def __getstate__(self) -> dict:
+        state = {
+            "obs_dim": self.obs_dim,
+            "action_space": self.action_space,
+            "discrete": self.discrete,
+            "policy_net": self.policy_net,
+            "value_net": self.value_net,
+            "log_std": None if self.log_std is None else self.log_std.copy(),
+        }
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.obs_dim = state["obs_dim"]
+        self.action_space = state["action_space"]
+        self.discrete = state["discrete"]
+        self.policy_net = state["policy_net"]
+        self.value_net = state["value_net"]
+        if state["log_std"] is None:
+            self.log_std = None
+        else:
+            self.log_std = np.asarray(state["log_std"], dtype=float)
+            self._dlog_std = np.zeros_like(self.log_std)
+        self._pack()

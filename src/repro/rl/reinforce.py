@@ -12,7 +12,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.nn.optim import Adam, clip_grad_norm
+from repro.nn.optim import Adam, clip_grad_norm_flat
 from repro.rl.env import Env
 from repro.rl.policy import ActorCritic
 from repro.rl.running_stat import RunningMeanStd
@@ -44,7 +44,10 @@ class Reinforce:
         self.rng = np.random.default_rng(seed)
         obs_dim = env.observation_space.dim if isinstance(env.observation_space, Box) else 1
         self.policy = ActorCritic(obs_dim, env.action_space, hidden=self.cfg.hidden, rng=self.rng)
-        self.optimizer = Adam(self.policy.parameters(), lr=self.cfg.learning_rate)
+        # Single fused Adam pass over the policy's flat parameter buffer
+        # (same layout PPO trains through; see repro.nn.network).
+        self.optimizer = Adam([self.policy.flat_params], lr=self.cfg.learning_rate)
+        self._flat_grads = [self.policy.flat_grads]
         self.obs_rms = RunningMeanStd((obs_dim,))
         self.total_steps = 0
         self.history: list[dict] = []
@@ -116,9 +119,11 @@ class Reinforce:
             d_ls = d_logp[:, None] * g_log_std + (-self.cfg.ent_coef / n) * dist.entropy_grad()
             self.policy.policy_backward(d_logp[:, None] * g_mean, d_ls.sum(axis=0))
         self.policy.value_backward((values - returns) / n)
-        grads = self.policy.gradients()
-        clip_grad_norm(grads, self.cfg.max_grad_norm)
-        self.optimizer.step(grads)
+        clip_grad_norm_flat(
+            self.policy.flat_grads, self.cfg.max_grad_norm,
+            segments=self.policy.param_slices,
+        )
+        self.optimizer.step(self._flat_grads)
         return {
             "pi_loss": float(-(d_logp * dist.log_prob(actions)).sum()),
             "v_loss": float(0.5 * np.mean((values - returns) ** 2)),

@@ -1,0 +1,47 @@
+"""One-off golden capture for the flat-parameter refactor (not a test).
+
+Run with the PRE-refactor implementation to print the golden values that
+tests/test_flat_identity.py pins; the refactored code must reproduce them
+bit for bit.
+"""
+
+import hashlib
+import sys
+
+import numpy as np
+
+sys.path.insert(0, "tests")
+from toy_envs import MatchParityEnv, TargetPointEnv  # noqa: E402
+
+from repro.rl.ppo import PPO, PPOConfig  # noqa: E402
+
+
+def checkpoint_digest(trainer: PPO) -> str:
+    h = hashlib.sha256()
+    for w in trainer.policy.get_weights():
+        h.update(str(w.shape).encode() + str(w.dtype).encode() + w.tobytes())
+    h.update(trainer.obs_rms.mean.tobytes())
+    h.update(trainer.obs_rms.var.tobytes())
+    h.update(np.array(trainer.obs_rms.count).tobytes())
+    return h.hexdigest()
+
+
+def run(env_cls, n_envs: int):
+    cfg = PPOConfig(
+        n_steps=32, batch_size=16, n_epochs=4, hidden=(8, 8),
+        init_log_std=-0.3, n_envs=n_envs,
+    )
+    trainer = PPO(env_cls(), cfg, seed=13)
+    trainer.learn(96 * n_envs)
+    returns = tuple(round(h["mean_episode_reward"], 12) for h in trainer.history)
+    pi_losses = tuple(round(h["pi_loss"], 12) for h in trainer.history)
+    return checkpoint_digest(trainer), returns, pi_losses
+
+
+for env_cls in (MatchParityEnv, TargetPointEnv):
+    for n_envs in (1, 4):
+        digest, returns, pi_losses = run(env_cls, n_envs)
+        print(f"{env_cls.__name__} n_envs={n_envs}:")
+        print(f"  digest: {digest!r}")
+        print(f"  returns: {returns!r}")
+        print(f"  pi_losses: {pi_losses!r}")

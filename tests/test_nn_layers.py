@@ -93,10 +93,24 @@ class TestActivations:
         x = rng.standard_normal((3, 4)) + 0.05  # avoid relu kink at 0
         d = rng.standard_normal((3, 4))
         act.forward(x)
-        grad = act.backward(d)
+        # backward scales dout in place on the fast path; keep the
+        # original around for the numerical comparison.
+        grad = act.backward(d.copy())
         eps = 1e-6
-        num = (act._fwd(x + eps) - act._fwd(x - eps)) / (2 * eps)
+
+        def fwd(v):
+            return Activation(name).forward(v).copy()
+
+        num = (fwd(x + eps) - fwd(x - eps)) / (2 * eps)
         np.testing.assert_allclose(grad, d * num, atol=1e-5)
+
+    def test_backward_scales_dout_in_place(self, rng):
+        act = Activation("tanh")
+        x = rng.standard_normal((3, 4))
+        act.forward(x)
+        d = rng.standard_normal((3, 4))
+        grad = act.backward(d)
+        assert grad is d  # zero-allocation contract: dout is reused
 
     def test_unknown_activation_raises(self):
         with pytest.raises(ValueError):
@@ -118,7 +132,7 @@ class TestActivations:
             Activation("tanh").backward(np.ones((1, 2)))
 
     @pytest.mark.parametrize("name,keeps", [
-        ("tanh", "y"), ("sigmoid", "y"), ("relu", "x"), ("linear", "x"),
+        ("tanh", "y"), ("sigmoid", "y"), ("relu", "x"),
     ])
     def test_only_the_tensor_the_gradient_needs_is_kept(self, name, keeps, rng):
         act = Activation(name)
@@ -128,3 +142,13 @@ class TestActivations:
             assert act._cached is y
         else:
             assert act._cached is x
+
+    def test_linear_is_a_pure_pass_through(self, rng):
+        act = Activation("linear")
+        x = rng.standard_normal((3, 4))
+        assert act.forward(x) is x  # no copy
+        assert act._cached is None  # and no cache
+        d = rng.standard_normal((3, 4))
+        d_before = d.copy()
+        assert act.backward(d) is d
+        np.testing.assert_array_equal(d, d_before)  # untouched
