@@ -1,0 +1,172 @@
+"""Benchmark: lockstep batched session evaluation (repro.abr.batched).
+
+Measures ``evaluate_protocols`` on a Pensieve-heavy corpus -- the
+workload the batched engine exists for, since every serial chunk pays a
+full ``MLP.forward`` for one observation -- in three configurations:
+
+1. *serial cold*: the historical in-process loop (``batch_size=0``,
+   ``workers=0``, no cache): one policy forward per session per chunk.
+   This is ``bench_parallel_eval``'s cold single-process baseline and
+   the path every other mode must reproduce bitwise.
+2. *batched cold*: the same sessions advanced in lockstep by
+   ``BatchedSessionEngine`` at several widths -- one batched forward
+   serves every live lane's chunk decision per round.
+3. *batched + workers*: batch lanes composed with ``ParallelMap``
+   (processes x lanes), reported for reference on multi-core hosts.
+
+Guards (CI runs ``--smoke`` on main):
+
+- every mode must return results identical to the serial loop
+  (enforced always -- this is the differential harness's contract,
+  see tests/test_batched_identity.py);
+- best batched sessions/sec >= 10x serial in full mode, >= 5x in smoke
+  mode (smaller corpus amortizes the batch less, and CI runners are
+  slower than pinned local hosts).
+
+Run standalone (no pytest needed):
+
+    PYTHONPATH=src python benchmarks/bench_batched_eval.py [--smoke]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import statistics
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.abr.features import feature_dim
+from repro.abr.protocols.pensieve import PensieveAgent
+from repro.abr.video import Video
+from repro.experiments.abr_suite import evaluate_protocols
+from repro.rl.policy import ActorCritic
+from repro.rl.running_stat import RunningMeanStd
+from repro.rl.spaces import Discrete
+from repro.traces.random_traces import random_abr_traces
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+def make_pensieve() -> PensieveAgent:
+    """A frozen-seed Pensieve agent (the suite's 64x32 policy head)."""
+    n = 6
+    policy = ActorCritic(
+        feature_dim(n), Discrete(n), hidden=(64, 32),
+        rng=np.random.default_rng(11),
+    )
+    obs_rms = RunningMeanStd(shape=(feature_dim(n),))
+    obs_rms.update(
+        np.random.default_rng(12).uniform(0.0, 3.0, size=(64, feature_dim(n)))
+    )
+    return PensieveAgent(policy, obs_rms=obs_rms, deterministic=True)
+
+
+def build_workload(smoke: bool):
+    video = Video.synthetic(n_chunks=48, seed=1)
+    n_traces = 64 if smoke else 256
+    traces = random_abr_traces(n_traces, seed=0)
+    protocols = {"pensieve": make_pensieve()}
+    return video, traces, protocols
+
+
+def measure(video, traces, protocols, modes, repeats):
+    """Interleaved median-of-``repeats`` wall time for every mode.
+
+    ``modes`` maps a label to ``(batch_size, workers)``.  Each repeat
+    runs *all* modes back to back before the next repeat starts, so
+    common-mode host drift (thermal throttling, a neighbour stealing the
+    core mid-bench) lands on every mode of that repeat instead of
+    skewing one side of the speedup ratio; the per-mode median then
+    drops the outlier repeats.  Back-to-back medians of the serial path
+    alone vary by 1.5x on a busy host -- interleaving is what makes the
+    guard below reproducible.
+
+    Returns ``{label: (median_seconds, result)}``.
+    """
+    times = {label: [] for label in modes}
+    results = {}
+    for _ in range(repeats):
+        for label, (batch_size, workers) in modes.items():
+            start = time.perf_counter()
+            results[label] = evaluate_protocols(
+                video, traces, protocols, chunk_indexed=True,
+                workers=workers, cache=False, batch_size=batch_size,
+            )
+            times[label].append(time.perf_counter() - start)
+    return {
+        label: (statistics.median(times[label]), results[label]) for label in modes
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="smoke-test sizes (CI): smaller corpus, >=5x guard",
+    )
+    args = parser.parse_args()
+    video, traces, protocols = build_workload(args.smoke)
+    n_sessions = len(traces) * len(protocols)
+    # The widest width equals the corpus size: the whole sweep advances
+    # as one batch, which is both the fastest and the most stable mode.
+    widths = (8, 32, 64) if args.smoke else (8, 32, 256)
+    floor = 5.0 if args.smoke else 10.0
+    repeats = 3 if args.smoke else 5
+
+    cores = os.cpu_count() or 1
+    modes = {"serial cold": (0, 0)}
+    for width in widths:
+        modes[f"batched x{width} cold"] = (width, 0)
+    if cores >= 2:
+        n_workers = 2 if args.smoke else 4
+        modes[f"x{widths[-1]} + {n_workers} workers"] = (widths[-1], n_workers)
+
+    timings = measure(video, traces, protocols, modes, repeats)
+    serial_t, serial = timings["serial cold"]
+
+    lines = [
+        "Batched lockstep session evaluation (repro.abr.batched)",
+        f"host cores: {cores}",
+        f"workload: {len(traces)} traces x {len(protocols)} protocols "
+        f"({n_sessions} Pensieve sessions, 48-chunk video, chunk-indexed)",
+        f"timing: interleaved median of {repeats} repeats per mode",
+        "",
+        f"{'mode':>24} {'seconds':>9} {'sessions/s':>11} {'speedup':>8}",
+    ]
+
+    best = 0.0
+    for label, (mode_t, result) in timings.items():
+        if label != "serial cold":
+            if result != serial:
+                print(f"FAIL: {label} results differ from the serial loop")
+                return 1
+            if "workers" not in label:
+                best = max(best, serial_t / mode_t)
+        lines.append(
+            f"{label:>24} {mode_t:>9.3f} "
+            f"{n_sessions / mode_t:>11.0f} {serial_t / mode_t:>7.2f}x"
+        )
+
+    lines += [
+        "",
+        f"best batched speedup: {best:.2f}x (floor {floor:.0f}x)",
+    ]
+    print("\n".join(lines))
+
+    table = "\n".join(lines) + "\n"
+    RESULTS_DIR.mkdir(exist_ok=True)
+    out = RESULTS_DIR / "bench_batched_eval.txt"
+    out.write_text(table)
+    print(f"\nwrote {out}")
+
+    if best < floor:
+        print(f"FAIL: best batched speedup {best:.2f}x below {floor:.0f}x")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -7,17 +7,27 @@ evaluates: buffer-based (BB), robust MPC, Pensieve (RL), plus a rate-based
 baseline and the offline optimum used for the adversary's ``r_opt``.
 """
 
+from repro.abr.batched import (
+    BatchedSessionEngine,
+    SessionSpec,
+    resolve_batch_size,
+    run_batched_sessions,
+)
 from repro.abr.qoe import QoEWeights, chunk_qoe, video_qoe
 from repro.abr.simulator import ChunkResult, StreamingSession
 from repro.abr.video import BITRATES_KBPS, CHUNK_SECONDS, Video
 
 __all__ = [
     "BITRATES_KBPS",
+    "BatchedSessionEngine",
     "CHUNK_SECONDS",
     "ChunkResult",
     "QoEWeights",
+    "SessionSpec",
     "StreamingSession",
     "Video",
     "chunk_qoe",
+    "resolve_batch_size",
+    "run_batched_sessions",
     "video_qoe",
 ]

@@ -21,6 +21,7 @@ Bandwidth comes from a :class:`BandwidthSchedule`.  Two implementations:
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -66,8 +67,8 @@ class TraceBandwidth(BandwidthSchedule):
         self.loop = loop
 
     def download_time(self, size_bytes: float, t_start: float) -> float:
-        if size_bytes <= 0:
-            raise ValueError("size must be positive")
+        if size_bytes < 0:
+            raise ValueError("size must be non-negative")
         remaining = float(size_bytes)
         t = float(t_start)
         elapsed = 0.0
@@ -109,28 +110,51 @@ class ChunkIndexedBandwidth(BandwidthSchedule):
     conditions for the duration of each chunk download, so a recorded
     trace is indexed by chunk, not by wall-clock time.  Each call to
     :meth:`download_time` consumes the next entry.
+
+    ``on_exhausted`` selects what a non-cycling schedule does once every
+    entry is consumed: ``"raise"`` (the historical behaviour) fails the
+    download, ``"hold"`` lets the final bandwidth persist -- mirroring
+    :class:`TraceBandwidth`'s ``loop=False`` semantics, where "the last
+    rate persists" past the end of the trace.  This matters for ragged
+    replays in which a session outlives its recorded schedule (e.g. a
+    batched-engine session whose video has more chunks than the trace
+    has entries).
     """
 
-    def __init__(self, bandwidths_mbps, cycle: bool = False) -> None:
+    ON_EXHAUSTED = ("raise", "hold")
+
+    def __init__(
+        self, bandwidths_mbps, cycle: bool = False, on_exhausted: str = "raise"
+    ) -> None:
         self.bandwidths_mbps = [float(b) for b in np.atleast_1d(bandwidths_mbps)]
         if not self.bandwidths_mbps or any(b <= 0 for b in self.bandwidths_mbps):
             raise ValueError("need a non-empty list of positive bandwidths")
+        if on_exhausted not in self.ON_EXHAUSTED:
+            raise ValueError(
+                f"on_exhausted must be one of {self.ON_EXHAUSTED}, got {on_exhausted!r}"
+            )
         self.cycle = cycle
+        self.on_exhausted = on_exhausted
         self._index = 0
+        self._rates = [
+            b * 1e6 / 8.0 * PACKET_PAYLOAD_PORTION for b in self.bandwidths_mbps
+        ]
 
     def download_time(self, size_bytes: float, t_start: float) -> float:
-        if size_bytes <= 0:
-            raise ValueError("size must be positive")
-        if self._index >= len(self.bandwidths_mbps):
-            if not self.cycle:
+        if size_bytes < 0:
+            raise ValueError("size must be non-negative")
+        index = self._index
+        if index >= len(self._rates):
+            if self.cycle:
+                index = 0
+            elif self.on_exhausted == "hold":
+                return size_bytes / self._rates[-1]
+            else:
                 raise RuntimeError(
-                    f"chunk-indexed schedule exhausted after {self._index} downloads"
+                    f"chunk-indexed schedule exhausted after {index} downloads"
                 )
-            self._index = 0
-        bw = self.bandwidths_mbps[self._index]
-        self._index += 1
-        rate = bw * 1e6 / 8.0 * PACKET_PAYLOAD_PORTION
-        return size_bytes / rate
+        self._index = index + 1
+        return size_bytes / self._rates[index]
 
 
 class ControlledBandwidth(BandwidthSchedule):
@@ -145,13 +169,13 @@ class ControlledBandwidth(BandwidthSchedule):
         self.bandwidth_mbps = float(bandwidth_mbps)
 
     def download_time(self, size_bytes: float, t_start: float) -> float:
-        if size_bytes <= 0:
-            raise ValueError("size must be positive")
+        if size_bytes < 0:
+            raise ValueError("size must be non-negative")
         rate = self.bandwidth_mbps * 1e6 / 8.0 * PACKET_PAYLOAD_PORTION
         return size_bytes / rate
 
 
-@dataclass
+@dataclass(slots=True)
 class ChunkResult:
     """Outcome of downloading one chunk."""
 
@@ -222,6 +246,9 @@ class StreamingSession:
         self.bandwidth = bandwidth
         self.weights = weights
         self.history_len = history_len
+        # The default linear QoE inlines to three float ops per chunk;
+        # other metrics (or QoEWeights subclasses) go through chunk_qoe.
+        self._linear_qoe = type(weights) is QoEWeights and weights.metric == "linear"
         self.reset()
 
     def reset(self) -> None:
@@ -257,49 +284,67 @@ class StreamingSession:
 
     def download_chunk(self, quality: int) -> ChunkResult:
         """Download the next chunk at ladder index ``quality``."""
-        if self.done:
+        video = self.video
+        chunk_index = self.chunk_index
+        if chunk_index >= video.n_chunks:
             raise RuntimeError("video already finished")
-        if not 0 <= quality < self.video.n_bitrates:
+        if not 0 <= quality < video.n_bitrates:
             raise ValueError(f"quality {quality} outside ladder")
-        size = self.video.chunk_size(self.chunk_index, quality)
+        size = video._sizes_rows[chunk_index][quality]
         delay = self.bandwidth.download_time(size, self.wall_time) + LINK_RTT_S
-        rebuffer = max(delay - self.buffer_seconds, 0.0)
-        self.buffer_seconds = max(self.buffer_seconds - delay, 0.0)
-        self.buffer_seconds += self.video.chunk_seconds
-        self.wall_time += delay
+        # `x if x > 0.0 else 0.0` is bitwise max(x, 0.0) (both keep -0.0).
+        rebuffer = delay - self.buffer_seconds
+        if rebuffer < 0.0:
+            rebuffer = 0.0
+        buffer = self.buffer_seconds - delay
+        if buffer < 0.0:
+            buffer = 0.0
+        buffer += video.chunk_seconds
+        wall_time = self.wall_time + delay
 
         sleep = 0.0
-        if self.buffer_seconds > BUFFER_CAP_S:
-            excess = self.buffer_seconds - BUFFER_CAP_S
-            sleep = float(np.ceil(excess / SLEEP_QUANTUM_S)) * SLEEP_QUANTUM_S
-            self.buffer_seconds -= sleep
-            self.wall_time += sleep
+        if buffer > BUFFER_CAP_S:
+            excess = buffer - BUFFER_CAP_S
+            sleep = math.ceil(excess / SLEEP_QUANTUM_S) * SLEEP_QUANTUM_S
+            buffer -= sleep
+            wall_time += sleep
+        self.buffer_seconds = buffer
+        self.wall_time = wall_time
 
-        bitrate = float(self.video.bitrates_kbps[quality])
-        prev_bitrate = (
-            None if self.prev_quality is None else float(self.video.bitrates_kbps[self.prev_quality])
-        )
-        qoe = chunk_qoe(bitrate, rebuffer, prev_bitrate, self.weights)
+        bitrate = video._bitrates_f[quality]
+        prev_quality = self.prev_quality
+        weights = self.weights
+        if self._linear_qoe:
+            value = bitrate / 1000.0
+            qoe = value - weights.rebuffer_penalty * rebuffer
+            if prev_quality is not None:
+                qoe -= weights.smooth_penalty * abs(
+                    value - video._bitrates_f[prev_quality] / 1000.0
+                )
+        else:
+            prev_bitrate = None if prev_quality is None else video._bitrates_f[prev_quality]
+            qoe = chunk_qoe(bitrate, rebuffer, prev_bitrate, weights)
 
         self.prev_quality = quality
         self.last_chunk_bytes = size
         self.last_download_seconds = delay
-        self.throughput_history.append((size, delay))
-        if len(self.throughput_history) > self.history_len:
-            self.throughput_history.pop(0)
-        self.chunk_index += 1
+        history = self.throughput_history
+        history.append((size, delay))
+        if len(history) > self.history_len:
+            history.pop(0)
+        self.chunk_index = chunk_index + 1
 
         result = ChunkResult(
-            chunk_index=self.chunk_index - 1,
-            quality=quality,
-            bitrate_kbps=bitrate,
-            size_bytes=size,
-            download_seconds=delay,
-            rebuffer_seconds=rebuffer,
-            sleep_seconds=sleep,
-            buffer_seconds=self.buffer_seconds,
-            qoe=qoe,
-            done=self.done,
+            chunk_index,
+            quality,
+            bitrate,
+            size,
+            delay,
+            rebuffer,
+            sleep,
+            buffer,
+            qoe,
+            chunk_index + 1 >= video.n_chunks,
         )
         self.results.append(result)
         return result

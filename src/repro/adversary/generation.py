@@ -19,6 +19,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.abr.batched import resolve_batch_size
 from repro.adversary.abr_env import AbrAdversaryEnv
 from repro.adversary.cc_env import CcAdversaryEnv
 from repro.cc.network import IntervalStats
@@ -80,6 +81,13 @@ def rollout_abr_adversary(
         obs, reward, done, info = env.step(action)
         total += reward
         qualities.append(info["quality"])
+    return _finish_abr_rollout(env, name, total, qualities)
+
+
+def _finish_abr_rollout(
+    env: AbrAdversaryEnv, name: str, total: float, qualities: list[int]
+) -> AbrRollout:
+    """Package a finished adversary episode as an :class:`AbrRollout`."""
     session = env._session
     assert session is not None
     summary = session.summary()
@@ -94,6 +102,66 @@ def rollout_abr_adversary(
     )
 
 
+def _batched_abr_rollouts(
+    trainer,
+    env: AbrAdversaryEnv,
+    deterministic: bool,
+    names: list[str],
+    rngs,
+    batch_size: int,
+) -> list[AbrRollout]:
+    """Roll out ``len(names)`` episodes over lockstep env copies.
+
+    Actions stay on the serial per-env prediction path (continuous
+    adversary actions feed the simulator directly, so a batched policy
+    forward's last-ulp GEMM differences would change results); what the
+    batch amortizes is the dominant per-step cost, the exhaustive
+    ``r_opt`` search, via :meth:`AbrAdversaryEnv.batch_step` -- which is
+    pinned bitwise-identical to per-env ``step``.  Each lane replays
+    against its own deep copy, so (unlike the serial loop) the caller's
+    ``env`` is left untouched.
+    """
+    rollouts: list[AbrRollout | None] = [None] * len(names)
+    queue = iter(range(len(names)))
+    lanes: list[list] = []  # [trace index, env copy, obs, return, qualities]
+
+    def refill() -> None:
+        while len(lanes) < batch_size:
+            i = next(queue, None)
+            if i is None:
+                return
+            env_i = copy.deepcopy(env)
+            lanes.append([i, env_i, env_i.reset(), 0.0, []])
+
+    refill()
+    while lanes:
+        actions = [
+            trainer.predict(lane[2], deterministic=deterministic, rng=rngs[lane[0]])
+            for lane in lanes
+        ]
+        outs = AbrAdversaryEnv.batch_step([lane[1] for lane in lanes], actions)
+        still: list[list] = []
+        for lane, (obs, reward, done, info) in zip(lanes, outs):
+            lane[2] = obs
+            lane[3] += reward
+            lane[4].append(info["quality"])
+            if done:
+                i, env_i, _, total, qualities = lane
+                rollouts[i] = _finish_abr_rollout(env_i, names[i], total, qualities)
+            else:
+                still.append(lane)
+        retired = len(still) != len(lanes)
+        lanes = still
+        if retired:
+            refill()
+    return rollouts  # type: ignore[return-value]
+
+
+def _abr_batch_rollout_task(task) -> list[AbrRollout]:
+    predictor, env, deterministic, names, rngs, batch_size = task
+    return _batched_abr_rollouts(predictor, env, deterministic, names, rngs, batch_size)
+
+
 def generate_abr_traces(
     trainer: PPO,
     env: AbrAdversaryEnv,
@@ -103,6 +171,7 @@ def generate_abr_traces(
     seed: int | None = None,
     workers: int | None = None,
     names: list[str] | None = None,
+    batch_size: int | None = None,
 ) -> list[AbrRollout]:
     """Produce a corpus of adversarial traces (the paper generates 200).
 
@@ -118,13 +187,32 @@ def generate_abr_traces(
     in trace order -- bitwise-identical to the serial loop.  Stochastic
     parallel generation therefore *requires* ``seed`` (without it, noise
     would come from the trainer's serially-consumed generator).
+
+    ``batch_size`` >= 2 advances that many episodes in lockstep
+    (``None`` honours ``$REPRO_BATCH_SIZE``), batching each round's
+    exhaustive ``r_opt`` searches through
+    :meth:`AbrAdversaryEnv.batch_step`; it composes with ``workers``
+    (each worker task runs one lockstep batch) and obeys the same
+    stochastic-needs-``seed`` rule.  Results are bitwise-identical to
+    the serial loop; the only side difference is that the caller's
+    ``env`` keeps its pre-call state (lanes replay deep copies) instead
+    of the last rollout's.
     """
     if n_traces <= 0:
         raise ValueError("n_traces must be positive")
     names = _trace_names(names, name_prefix, n_traces)
     rngs = spawn_rngs(seed, n_traces)
+    batch_size = resolve_batch_size(batch_size)
+    if batch_size >= 2 and seed is None and not deterministic:
+        raise ValueError(
+            "batched stochastic generation needs seed= (per-trace rngs)"
+        )
     with as_runner(workers) as runner:
         if not runner.parallel:
+            if batch_size >= 2:
+                return _batched_abr_rollouts(
+                    trainer, env, deterministic, names, rngs, batch_size
+                )
             return [
                 rollout_abr_adversary(
                     trainer, env, deterministic=deterministic,
@@ -137,6 +225,20 @@ def generate_abr_traces(
                 "parallel stochastic generation needs seed= (per-trace rngs)"
             )
         predictor = _FrozenPredictor.from_trainer(trainer)
+        if batch_size >= 2:
+            spans = [
+                (lo, min(lo + batch_size, n_traces))
+                for lo in range(0, n_traces, batch_size)
+            ]
+            batches = runner.map(
+                _abr_batch_rollout_task,
+                [
+                    (predictor, env, deterministic, names[lo:hi], rngs[lo:hi],
+                     batch_size)
+                    for lo, hi in spans
+                ],
+            )
+            return [rollout for batch in batches for rollout in batch]
         tasks = [
             (predictor, env, deterministic, names[i], rngs[i])
             for i in range(n_traces)

@@ -27,6 +27,7 @@ from contextlib import contextmanager
 
 import numpy as np
 
+from repro.abr.batched import resolve_batch_size
 from repro.abr.protocols import MPC, BufferBased, RateBased
 from repro.abr.video import Video
 from repro.adversary.abr_env import train_abr_adversary
@@ -59,6 +60,9 @@ _SENDERS = {"bbr": BBRSender, "cubic": CubicSender, "reno": RenoSender}
 def _add_exec_args(p: argparse.ArgumentParser, cache: bool = True) -> None:
     p.add_argument("--workers", type=int, default=None,
                    help="worker processes (default: $REPRO_WORKERS or serial)")
+    p.add_argument("--batch-size", type=int, default=None,
+                   help="sessions per lockstep batch "
+                        "(default: $REPRO_BATCH_SIZE or serial)")
     if cache:
         p.add_argument("--cache-dir", default=None,
                        help="result cache directory (default: $REPRO_CACHE_DIR)")
@@ -107,10 +111,14 @@ def _resolve_cache(args: argparse.Namespace) -> "ResultCache | bool | None":
     return ResultCache.from_env()
 
 
-def _report_exec(cache, workers, recorder, console: Console) -> None:
+def _report_exec(cache, workers, recorder, console: Console,
+                 batch_size: int | None = None) -> None:
     """Post-run telemetry: what ran where, what was served from cache."""
     n = resolve_workers(workers)
     console.info(f"workers: {n if n > 1 else 'serial'}")
+    if batch_size is not None:
+        b = resolve_batch_size(batch_size)
+        console.info(f"batch size: {b if b >= 1 else 'serial'}")
     if isinstance(cache, ResultCache):
         cache.record_metrics(recorder)
         console.info(cache.summary())
@@ -144,6 +152,9 @@ def _cmd_train_abr_adversary(args: argparse.Namespace) -> int:
                     result.trainer, result.env, args.n_traces,
                     seed=args.trace_seed,
                     workers=args.workers if args.trace_seed is not None else 0,
+                    batch_size=(
+                        args.batch_size if args.trace_seed is not None else 0
+                    ),
                 )
             save_corpus([r.trace for r in rolls], args.traces_out)
             qoe = float(np.mean([r.target_qoe_mean for r in rolls]))
@@ -195,14 +206,15 @@ def _cmd_evaluate_abr(args: argparse.Namespace) -> int:
         qoe = evaluate_protocols(
             video, traces, protocols, chunk_indexed=args.chunk_indexed,
             workers=args.workers, cache=cache if cache is not None else False,
-            recorder=recorder,
+            recorder=recorder, batch_size=args.batch_size,
         )
         rows = [
             [name, float(np.mean(qoes)), float(np.min(qoes))]
             for name, qoes in qoe.items()
         ]
         console.out(format_table(["protocol", "mean QoE", "min QoE"], rows))
-        _report_exec(cache, args.workers, recorder, console)
+        _report_exec(cache, args.workers, recorder, console,
+                     batch_size=args.batch_size)
     return 0
 
 

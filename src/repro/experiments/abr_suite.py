@@ -8,6 +8,7 @@ from typing import Mapping
 
 import numpy as np
 
+from repro.abr.batched import SessionSpec, resolve_batch_size, run_batched_sessions
 from repro.abr.protocols.base import AbrPolicy, run_session
 from repro.abr.protocols.optimal import optimal_plan_dp
 from repro.abr.protocols.pensieve import continue_training, train_pensieve
@@ -41,8 +42,86 @@ def _session_qoe_task(task) -> float:
 
 
 def _session_key(video, trace, policy, weights, chunk_indexed: bool) -> str:
-    """Content address of one session: everything its QoE depends on."""
+    """Content address of one session: everything its QoE depends on.
+
+    Deliberately identical between the serial and batched paths (the batch
+    width is *not* part of the key): a session's QoE is a property of the
+    session, not of how many neighbours it was evaluated beside, so warm
+    hits are shared across batch widths.
+    """
     return make_key("abr-session-qoe", video, trace, policy, weights, chunk_indexed)
+
+
+def _session_batch_qoe_task(task) -> list[float]:
+    """One lockstep batch of session replays; module-level for pickling."""
+    policy, specs, batch_size = task
+    return [r.qoe_mean for r in run_batched_sessions(specs, policy, batch_size)]
+
+
+def _batched_protocol_qoe(
+    video,
+    traces,
+    policy,
+    weights,
+    chunk_indexed,
+    batch_size,
+    runner,
+    cache,
+    recorder,
+) -> list[float]:
+    """The batched-engine twin of ``cached_map`` over one protocol.
+
+    Cache handling is identical to :func:`~repro.exec.cached_map` -- same
+    per-session keys, hits served without recomputation, misses stored
+    back -- with the misses played through a
+    :class:`~repro.abr.batched.BatchedSessionEngine` instead of one
+    ``run_session`` per task.  A parallel runner receives one task per
+    ``batch_size`` sessions, composing processes x batch lanes.
+    """
+    results: list[float | None] = [None] * len(traces)
+    keys = None
+    pending = list(range(len(traces)))
+    if cache is not None:
+        keys = [
+            _session_key(video, t, policy, weights, chunk_indexed) for t in traces
+        ]
+        pending = []
+        for i, key in enumerate(keys):
+            hit, value = cache.lookup(key)
+            if hit:
+                results[i] = value
+            else:
+                pending.append(i)
+    if pending:
+        specs = [
+            SessionSpec(
+                video=video, bandwidth=traces[i],
+                chunk_indexed=chunk_indexed, weights=weights,
+            )
+            for i in pending
+        ]
+        if runner.parallel:
+            slices = [
+                specs[lo : lo + batch_size]
+                for lo in range(0, len(specs), batch_size)
+            ]
+            computed_batches = runner.map(
+                _session_batch_qoe_task,
+                [(policy, group, batch_size) for group in slices],
+            )
+            computed = [value for batch in computed_batches for value in batch]
+        else:
+            computed = [
+                r.qoe_mean
+                for r in run_batched_sessions(
+                    specs, policy, batch_size, recorder=recorder
+                )
+            ]
+        for i, value in zip(pending, computed):
+            results[i] = value
+            if keys is not None:
+                cache.put(keys[i], value)
+    return results  # type: ignore[return-value]
 
 
 def evaluate_protocols(
@@ -54,6 +133,7 @@ def evaluate_protocols(
     workers: "int | ParallelMap | None" = None,
     cache: "ResultCache | str | bool | None" = None,
     recorder: MetricsRecorder | None = None,
+    batch_size: int | None = None,
 ) -> dict[str, list[float]]:
     """Per-trace mean QoE of each protocol over a trace corpus.
 
@@ -62,28 +142,42 @@ def evaluate_protocols(
     honours ``$REPRO_WORKERS``) and ``cache`` memoizes each session's QoE
     under a content digest of (video, trace samples, policy identity +
     weights, QoE weights, ``chunk_indexed``, schema version) -- see
-    :mod:`repro.exec`.  Results are identical to the serial uncached loop
-    in all modes; parallel evaluation of *stochastic* policies is the one
-    unsupported combination (each worker would snapshot, not share, the
-    policy's generator).  ``recorder`` receives per-protocol evaluation
-    timings and the cache's hit/miss counters (``eval/``, ``cache/``).
+    :mod:`repro.exec`.  ``batch_size`` >= 1 plays the sessions through the
+    lockstep :class:`~repro.abr.batched.BatchedSessionEngine` instead of
+    one ``run_session`` per task (``0``/default: the exact serial path;
+    ``None`` honours ``$REPRO_BATCH_SIZE``); it composes with ``workers``
+    (each worker task advances one batch of lanes) and with ``cache``
+    (per-session keys are batch-width independent).  Results are
+    identical to the serial uncached loop in all modes; evaluation of
+    *stochastic* policies under ``workers`` or ``batch_size`` is the one
+    unsupported combination (workers would snapshot, and batch lanes
+    would re-seed, the policy's generator).  ``recorder`` receives
+    per-protocol evaluation timings and the cache's hit/miss counters
+    (``eval/``, ``cache/``).
     """
     if not traces:
         raise ValueError("empty trace corpus")
     cache = ResultCache.resolve(cache)
     recorder = recorder if recorder is not None else NULL_RECORDER
+    batch_size = resolve_batch_size(batch_size)
     results: dict[str, list[float]] = {}
     with as_runner(workers, recorder=recorder) as runner:
         for name, policy in protocols.items():
-            tasks = [(video, t, policy, weights, chunk_indexed) for t in traces]
-            keys = None
-            if cache is not None:
-                keys = [
-                    _session_key(video, t, policy, weights, chunk_indexed)
-                    for t in traces
-                ]
             with recorder.timer("eval/protocol_seconds", protocol=name,
-                                traces=len(traces)):
+                                traces=len(traces), batch_size=batch_size):
+                if batch_size >= 1:
+                    results[name] = _batched_protocol_qoe(
+                        video, traces, policy, weights, chunk_indexed,
+                        batch_size, runner, cache, recorder,
+                    )
+                    continue
+                tasks = [(video, t, policy, weights, chunk_indexed) for t in traces]
+                keys = None
+                if cache is not None:
+                    keys = [
+                        _session_key(video, t, policy, weights, chunk_indexed)
+                        for t in traces
+                    ]
                 results[name] = cached_map(
                     _session_qoe_task, tasks, runner, cache=cache, keys=keys
                 )
@@ -111,15 +205,16 @@ def run_abr_cdf_experiment(
     workers: "int | ParallelMap | None" = None,
     cache: "ResultCache | str | bool | None" = None,
     recorder: MetricsRecorder | None = None,
+    batch_size: int | None = None,
 ) -> AbrCdfExperiment:
     """Evaluate all protocols on all corpora and summarize QoE ratios.
 
     ``ratio_pairs`` lists ``(other, targeted, corpus)`` triples, e.g.
     ``("pensieve", "mpc", "anti-mpc")`` reproduces the "Pensieve/MPC on
-    MPC traces" bar of Figure 2.  ``workers``/``cache`` parallelize and
-    memoize the sessions (one persistent pool spans every corpus); see
-    :func:`evaluate_protocols`.  ``recorder`` receives per-corpus
-    timings plus the evaluation-layer metrics.
+    MPC traces" bar of Figure 2.  ``workers``/``cache``/``batch_size``
+    parallelize, memoize and batch the sessions (one persistent pool
+    spans every corpus); see :func:`evaluate_protocols`.  ``recorder``
+    receives per-corpus timings plus the evaluation-layer metrics.
     """
     # Resolve once so the env-var default is not re-read (and a ``False``
     # is not re-interpreted) by the per-corpus calls.
@@ -127,6 +222,7 @@ def run_abr_cdf_experiment(
     if cache is None:
         cache = False
     recorder = recorder if recorder is not None else NULL_RECORDER
+    batch_size = resolve_batch_size(batch_size)
     with as_runner(workers, recorder=recorder) as runner:
         qoe = {}
         for corpus_name, traces in corpora.items():
@@ -135,6 +231,7 @@ def run_abr_cdf_experiment(
                 qoe[corpus_name] = evaluate_protocols(
                     video, traces, protocols, chunk_indexed,
                     workers=runner, cache=cache, recorder=recorder,
+                    batch_size=batch_size,
                 )
     experiment = AbrCdfExperiment(qoe=qoe)
     for other, targeted, corpus_name in ratio_pairs:
@@ -217,6 +314,7 @@ def run_robustness_experiment(
     workers: "int | ParallelMap | None" = None,
     cache: "ResultCache | str | bool | None" = None,
     recorder: MetricsRecorder | None = None,
+    batch_size: int | None = None,
 ) -> RobustnessExperiment:
     """The Figure 4 pipeline with a shared training prefix.
 
@@ -231,11 +329,12 @@ def run_robustness_experiment(
     reproducible instead of depending on the adversary trainer's leftover
     generator state.
 
-    ``workers``/``cache`` accelerate the evaluation sessions -- the part
-    of the pipeline that replays every variant over every test set -- via
-    :func:`evaluate_protocols`, and (with ``trace_seed`` set, which makes
-    rollouts independent) ``workers`` also parallelizes adversarial trace
-    generation.  Neither changes any result.
+    ``workers``/``cache``/``batch_size`` accelerate the evaluation
+    sessions -- the part of the pipeline that replays every variant over
+    every test set -- via :func:`evaluate_protocols`, and (with
+    ``trace_seed`` set, which makes rollouts independent) ``workers`` and
+    ``batch_size`` also parallelize adversarial trace generation.  None
+    of them changes any result.
     """
     fractions = sorted(switch_fractions)
     if any(not 0.0 < f < 1.0 for f in fractions):
@@ -244,13 +343,14 @@ def run_robustness_experiment(
     if cache is None:
         cache = False
     recorder = recorder if recorder is not None else NULL_RECORDER
+    batch_size = resolve_batch_size(batch_size)
 
     def evaluate(agent, runner) -> dict[str, tuple[float, float]]:
         out = {}
         for name, traces in test_sets.items():
             qoes = evaluate_protocols(
                 video, traces, {"agent": agent}, workers=runner, cache=cache,
-                recorder=recorder,
+                recorder=recorder, batch_size=batch_size,
             )["agent"]
             out[name] = (float(np.mean(qoes)), percentile(qoes, 5))
         return out
@@ -291,6 +391,7 @@ def run_robustness_experiment(
                 adversary.trainer, adversary.env, n_adversarial_traces,
                 seed=trace_seed,
                 workers=runner if trace_seed is not None else 0,
+                batch_size=batch_size if trace_seed is not None else 0,
             )
             with recorder.timer("experiment/robust_arm_seconds",
                                 switch_fraction=frac):

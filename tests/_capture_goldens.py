@@ -1,8 +1,12 @@
-"""One-off golden capture for the flat-parameter refactor (not a test).
+"""One-off golden capture (not a test).
 
-Run with the PRE-refactor implementation to print the golden values that
-tests/test_flat_identity.py pins; the refactored code must reproduce them
-bit for bit.
+Run against a known-good implementation to print the values the golden
+tests pin; later refactors must reproduce them bit for bit.
+
+    python tests/_capture_goldens.py ppo   # tests/test_flat_identity.py
+    python tests/_capture_goldens.py abr   # tests/test_abr_goldens.py
+
+With no argument both sections run.
 """
 
 import hashlib
@@ -38,10 +42,37 @@ def run(env_cls, n_envs: int):
     return checkpoint_digest(trainer), returns, pi_losses
 
 
-for env_cls in (MatchParityEnv, TargetPointEnv):
-    for n_envs in (1, 4):
-        digest, returns, pi_losses = run(env_cls, n_envs)
-        print(f"{env_cls.__name__} n_envs={n_envs}:")
-        print(f"  digest: {digest!r}")
-        print(f"  returns: {returns!r}")
-        print(f"  pi_losses: {pi_losses!r}")
+def capture_ppo() -> None:
+    for env_cls in (MatchParityEnv, TargetPointEnv):
+        for n_envs in (1, 4):
+            digest, returns, pi_losses = run(env_cls, n_envs)
+            print(f"{env_cls.__name__} n_envs={n_envs}:")
+            print(f"  digest: {digest!r}")
+            print(f"  returns: {returns!r}")
+            print(f"  pi_losses: {pi_losses!r}")
+
+
+def capture_abr_sessions() -> None:
+    """Digests for tests/test_abr_goldens.py, via the SERIAL path only."""
+    from test_abr_goldens import GOLDEN_PROTOCOLS, corpus_digest, golden_corpus
+
+    from repro.abr.protocols import run_session
+
+    print("GOLDEN_DIGESTS = {")
+    for name in sorted(GOLDEN_PROTOCOLS):
+        policy = GOLDEN_PROTOCOLS[name]()
+        results = [
+            run_session(s.video, s.bandwidth, policy,
+                        weights=s.weights, chunk_indexed=s.chunk_indexed)
+            for s in golden_corpus()
+        ]
+        print(f'    "{name}": "{corpus_digest(results)}",')
+    print("}")
+
+
+if __name__ == "__main__":
+    sections = sys.argv[1:] or ["ppo", "abr"]
+    if "ppo" in sections:
+        capture_ppo()
+    if "abr" in sections:
+        capture_abr_sessions()

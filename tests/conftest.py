@@ -1,0 +1,12 @@
+import pytest
+
+
+def pytest_collection_modifyitems(items):
+    """Everything not explicitly marked ``slow`` is the fast tier.
+
+    CI runs ``-m "not slow"`` on every push and the full suite on main;
+    ``-m fast`` selects the same quick tier explicitly.
+    """
+    for item in items:
+        if item.get_closest_marker("slow") is None:
+            item.add_marker(pytest.mark.fast)

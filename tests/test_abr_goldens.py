@@ -1,0 +1,127 @@
+"""Stored-byte goldens for ABR SessionResults on a frozen corpus.
+
+The differential layer (``test_batched_identity.py``) proves the batched
+engine self-consistent with the serial path; these goldens additionally
+pin the serial path itself to digests captured from the current
+implementation (via ``tests/_capture_goldens.py``), so a future engine or
+simulator refactor diffs against stored bytes rather than mere
+self-consistency.  Both the serial loop and the batched engine must
+reproduce them.
+"""
+
+import hashlib
+
+import numpy as np
+
+from repro.abr.batched import SessionSpec, run_batched_sessions
+from repro.abr.features import feature_dim
+from repro.abr.protocols import MPC, BufferBased, RateBased, run_session
+from repro.abr.protocols.bola import Bola
+from repro.abr.protocols.pensieve import PensieveAgent
+from repro.abr.video import Video
+from repro.rl.policy import ActorCritic
+from repro.rl.running_stat import RunningMeanStd
+from repro.rl.spaces import Discrete
+from repro.traces.trace import Trace
+
+import pytest
+
+
+def golden_corpus() -> list[SessionSpec]:
+    """Two videos x three traces, half chunk-indexed (6 sessions)."""
+    videos = [
+        Video.synthetic(n_chunks=16, seed=20),
+        Video.synthetic(n_chunks=11, seed=21),
+    ]
+    rng = np.random.default_rng(22)
+    traces = [
+        Trace.from_steps(rng.uniform(0.4, 5.5, size=10), 4.0, name=f"g{i}")
+        for i in range(3)
+    ]
+    return [
+        SessionSpec(video=v, bandwidth=t, chunk_indexed=(i % 2 == 0))
+        for i, t in enumerate(traces)
+        for v in videos
+    ]
+
+
+def golden_pensieve(deterministic: bool = True) -> PensieveAgent:
+    policy = ActorCritic(
+        feature_dim(6), Discrete(6), hidden=(64, 32),
+        rng=np.random.default_rng(23),
+    )
+    obs_rms = RunningMeanStd(shape=(feature_dim(6),))
+    obs_rms.update(
+        np.random.default_rng(24).uniform(0.0, 3.0, size=(64, feature_dim(6)))
+    )
+    return PensieveAgent(policy, obs_rms=obs_rms, deterministic=deterministic)
+
+
+GOLDEN_PROTOCOLS = {
+    "bb": BufferBased,
+    "bola": Bola,
+    "mpc": lambda: MPC(horizon=4),
+    "rb": RateBased,
+    "pensieve": golden_pensieve,
+}
+
+
+def session_digest(result) -> str:
+    """SHA-256 over every byte a SessionResult carries."""
+    h = hashlib.sha256()
+    h.update(np.asarray(result.qualities, dtype=np.int64).tobytes())
+    for name in ("bitrates_kbps", "rebuffer_seconds", "download_seconds",
+                 "buffer_seconds"):
+        h.update(np.asarray(getattr(result, name), dtype=float).tobytes())
+    h.update(np.asarray(
+        [result.qoe_total, result.qoe_mean, result.total_rebuffer],
+        dtype=float,
+    ).tobytes())
+    for c in result.chunks:
+        h.update(np.asarray([c.chunk_index, c.quality, int(c.done)],
+                            dtype=np.int64).tobytes())
+        h.update(np.asarray(
+            [c.bitrate_kbps, c.size_bytes, c.download_seconds,
+             c.rebuffer_seconds, c.sleep_seconds, c.buffer_seconds, c.qoe],
+            dtype=float,
+        ).tobytes())
+    return h.hexdigest()
+
+
+def corpus_digest(results) -> str:
+    h = hashlib.sha256()
+    for r in results:
+        h.update(session_digest(r).encode())
+    return h.hexdigest()
+
+
+#: Captured with tests/_capture_goldens.py from the serial run_session
+#: path.  Any change here means session bytes changed -- a deliberate
+#: simulator/protocol change must re-capture and say so in its PR.
+GOLDEN_DIGESTS = {
+    "bb": "d68066fa81fcb1c71eeb596907fc1e05734e248c293e74d7230df1790b76cdc4",
+    "bola": "a9cba00d855ba55517003277c93062358425ac9c16d6673e68350868fc30bf7f",
+    "mpc": "118e9254ab132d4480523e76dda2a93d2d1e67ca4517b1e5080e6249fa8ce88d",
+    "pensieve": "322582ce8eda3ae6244ef0e51a23f93cc8fd755004b6b7f8672eee663ebbdcc9",
+    "rb": "f0f81d0cfab66bea3a1a9ad6a8974812ede0c774fe4281f55f405f552bf0524a",
+}
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN_PROTOCOLS))
+def test_serial_results_match_stored_bytes(name):
+    policy = GOLDEN_PROTOCOLS[name]()
+    results = [
+        run_session(s.video, s.bandwidth, policy,
+                    weights=s.weights, chunk_indexed=s.chunk_indexed)
+        for s in golden_corpus()
+    ]
+    assert corpus_digest(results) == GOLDEN_DIGESTS[name]
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN_PROTOCOLS))
+@pytest.mark.parametrize("batch_size", (3, 6))
+def test_batched_results_match_stored_bytes(name, batch_size):
+    results = run_batched_sessions(
+        golden_corpus(), GOLDEN_PROTOCOLS[name](), batch_size
+    )
+    assert corpus_digest(results) == GOLDEN_DIGESTS[name]

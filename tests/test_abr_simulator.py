@@ -36,7 +36,10 @@ class TestControlledBandwidth:
 
     def test_invalid_size(self):
         with pytest.raises(ValueError):
-            ControlledBandwidth(1.0).download_time(0.0, 0.0)
+            ControlledBandwidth(1.0).download_time(-1.0, 0.0)
+
+    def test_zero_byte_download_is_instant(self):
+        assert ControlledBandwidth(1.0).download_time(0.0, 0.0) == 0.0
 
 
 class TestTraceBandwidth:
@@ -70,6 +73,16 @@ class TestTraceBandwidth:
         tb = TraceBandwidth(trace)
         with pytest.raises(RuntimeError):
             tb.download_time(1000.0, 0.0)
+
+    def test_zero_byte_download_is_instant(self):
+        trace = Trace.from_steps([0.0, 0.0], 1.0)
+        # Even over a dead link a zero-byte download completes immediately.
+        assert TraceBandwidth(trace).download_time(0.0, 0.0) == 0.0
+
+    def test_negative_size_rejected(self):
+        trace = Trace.constant(3.0, 10.0)
+        with pytest.raises(ValueError):
+            TraceBandwidth(trace).download_time(-1.0, 0.0)
 
 
 class TestStreamingSession:

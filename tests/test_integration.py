@@ -9,6 +9,8 @@ import numpy as np
 import pytest
 
 from repro.abr.protocols import BufferBased, MPC, run_session
+
+pytestmark = pytest.mark.slow
 from repro.abr.video import Video
 from repro.adversary import (
     generate_abr_traces,

@@ -46,9 +46,26 @@ class TestChunkIndexedBandwidth:
             ChunkIndexedBandwidth([])
         with pytest.raises(ValueError):
             ChunkIndexedBandwidth([1.0, -2.0])
+        with pytest.raises(ValueError):
+            ChunkIndexedBandwidth([1.0], on_exhausted="wrap")
         schedule = ChunkIndexedBandwidth([1.0])
         with pytest.raises(ValueError):
             schedule.download_time(-5.0, 0.0)
+
+    def test_zero_byte_download_is_instant_and_consumes_entry(self):
+        schedule = ChunkIndexedBandwidth([1.0, 2.0])
+        assert schedule.download_time(0.0, 0.0) == 0.0
+        # The zero-byte download still consumed the 1.0 Mbps entry.
+        t = schedule.download_time(1e6, 0.0)
+        assert t == pytest.approx(1e6 / (2.0 * 1e6 / 8.0 * 0.95))
+
+    def test_hold_persists_last_rate_after_exhaustion(self):
+        schedule = ChunkIndexedBandwidth([1.0, 4.0], on_exhausted="hold")
+        schedule.download_time(1e6, 0.0)
+        t_last = schedule.download_time(1e6, 0.0)
+        # Every further download reuses the final (4.0 Mbps) entry.
+        for _ in range(3):
+            assert schedule.download_time(1e6, 0.0) == t_last
 
 
 class TestSimulatorInvariants:
