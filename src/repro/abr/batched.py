@@ -98,6 +98,7 @@ def resolve_batch_size(batch_size: int | None) -> int:
     is 0, which every caller treats as "use the serial path exactly as
     before".
     """
+    from_env = False
     if batch_size is None:
         raw = os.environ.get(_BATCH_ENV, "").strip()
         if not raw:
@@ -106,9 +107,13 @@ def resolve_batch_size(batch_size: int | None) -> int:
             batch_size = int(raw)
         except ValueError as exc:
             raise ValueError(f"${_BATCH_ENV} must be an integer, got {raw!r}") from exc
+        from_env = True
     batch_size = int(batch_size)
     if batch_size < 0:
-        raise ValueError(f"batch size must be >= 0, got {batch_size}")
+        # Name the setting's origin: a bad environment variable should
+        # point at the environment variable, not at some callsite arg.
+        source = f"${_BATCH_ENV}" if from_env else "batch size"
+        raise ValueError(f"{source} must be >= 0, got {batch_size}")
     return batch_size
 
 

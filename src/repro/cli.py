@@ -9,6 +9,9 @@ Usage examples::
         --traces-out anti_bbr.jsonl --n-traces 5
     python -m repro.cli evaluate-cc --traces anti_bbr.jsonl --sender bbr
     python -m repro.cli make-dataset --kind 3g --count 50 --out corpus.jsonl
+    python -m repro.cli serve --port 8008 --batch-size 64
+    python -m repro.cli loadgen --port 8008 --protocol pensieve \
+        --players 1000 --codec binary --verify
 
 Every command accepts ``--log-dir`` (default ``$REPRO_LOG_DIR``): when
 set, the run writes a ``manifest.json`` (command, config, seed entropy,
@@ -21,7 +24,10 @@ tables.  Neither flag changes any computed result.
 from __future__ import annotations
 
 import argparse
+import asyncio
+import json
 import os
+import signal
 import sys
 from contextlib import contextmanager
 
@@ -274,6 +280,141 @@ def _cmd_regression_check(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _serve_protocols(args: argparse.Namespace) -> dict:
+    """The protocol lineup a serve/loadgen run fronts (or verifies against)."""
+    from repro.serve import default_protocols
+
+    protocols = default_protocols(
+        pensieve_hidden=tuple(args.pensieve_hidden),
+        pensieve_seed=args.pensieve_seed,
+    )
+    if args.protocols:
+        names = [n.strip() for n in args.protocols.split(",") if n.strip()]
+        unknown = sorted(set(names) - set(protocols))
+        if unknown:
+            raise SystemExit(f"unknown protocol(s): {', '.join(unknown)} "
+                             f"(choose from {', '.join(sorted(protocols))})")
+        protocols = {n: protocols[n] for n in names}
+    return protocols
+
+
+def _serve_batch_size(args: argparse.Namespace) -> int:
+    """``--batch-size``/``$REPRO_BATCH_SIZE`` for serving: 0/unset -> 64."""
+    resolved = resolve_batch_size(args.batch_size)
+    return resolved if resolved >= 1 else 64
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import DecisionService, HttpServer
+
+    with _run_context(args) as (recorder, console):
+        video = Video.synthetic(n_chunks=args.chunks, seed=args.video_seed)
+        protocols = _serve_protocols(args)
+        cache = _resolve_cache(args)
+        service = DecisionService(
+            video, protocols, batch_size=_serve_batch_size(args),
+            max_wait_us=args.max_wait_us, max_sessions=args.max_sessions,
+            seed=args.seed, cache=cache if isinstance(cache, ResultCache) else None,
+            recorder=recorder,
+        )
+
+        async def run() -> None:
+            server = HttpServer(service, host=args.host, port=args.port)
+            await server.start()
+            console.info(
+                f"serving {', '.join(sorted(protocols))} on "
+                f"http://{args.host}:{server.port} "
+                f"(mode {service.mode}, batch {service.batch_size})"
+            )
+            stop = asyncio.Event()
+            loop = asyncio.get_running_loop()
+            for sig in (signal.SIGINT, signal.SIGTERM):
+                loop.add_signal_handler(sig, stop.set)
+            try:
+                await stop.wait()
+            finally:
+                for sig in (signal.SIGINT, signal.SIGTERM):
+                    loop.remove_signal_handler(sig)
+                console.info("shutting down (draining in-flight requests) ...")
+                await server.close()
+                service.record_metrics()
+                stats = service.stats()
+                console.info(
+                    f"served {stats['requests']['decisions']} decisions over "
+                    f"{stats['requests']['total']} requests "
+                    f"({stats['sessions']['created']} sessions)"
+                )
+
+        asyncio.run(run())
+    return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    from repro.serve import (
+        CONTENT_BINARY,
+        CONTENT_JSON,
+        DecisionService,
+        HttpTransport,
+        InprocTransport,
+        run_loadgen,
+    )
+    from repro.traces.random_traces import random_abr_traces
+
+    with _run_context(args) as (recorder, console):
+        video = Video.synthetic(n_chunks=args.chunks, seed=args.video_seed)
+        if args.traces:
+            traces = load_corpus(args.traces)
+        else:
+            traces = random_abr_traces(args.n_traces, seed=args.trace_seed,
+                                       n_segments=args.chunks)
+        content = CONTENT_BINARY if args.codec == "binary" else CONTENT_JSON
+        reference = _serve_protocols(args)[args.protocol] if args.verify else None
+
+        async def run():
+            if args.inproc:
+                cache = _resolve_cache(args)
+                service = DecisionService(
+                    video, _serve_protocols(args),
+                    batch_size=_serve_batch_size(args),
+                    max_wait_us=args.max_wait_us, seed=args.seed,
+                    cache=cache if isinstance(cache, ResultCache) else None,
+                    recorder=recorder,
+                )
+                await service.start()
+                transport = InprocTransport(service)
+                try:
+                    return await run_loadgen(
+                        transport, video, traces, args.protocol, args.players,
+                        content_type=content, reference=reference,
+                    )
+                finally:
+                    await service.close()
+            transport = HttpTransport(args.host, args.port,
+                                      connections=args.connections)
+            try:
+                return await run_loadgen(
+                    transport, video, traces, args.protocol, args.players,
+                    content_type=content, reference=reference,
+                )
+            finally:
+                await transport.close()
+
+        report = asyncio.run(run())
+        for line in report.lines():
+            console.out(line)
+        recorder.record("loadgen/requests_per_second",
+                        report.requests_per_second)
+        recorder.record("loadgen/errors", report.errors)
+        if report.mismatches >= 0:
+            recorder.record("loadgen/mismatches", report.mismatches)
+        if args.summary_out:
+            with open(args.summary_out, "w") as fh:
+                json.dump(report.summary_dict(), fh, indent=2)
+                fh.write("\n")
+            console.info(f"wrote latency summary to {args.summary_out}")
+    return 1 if (report.errors or report.mismatches > 0) else 0
+
+
 def _cmd_make_dataset(args: argparse.Namespace) -> int:
     with _run_context(args) as (recorder, console):
         traces = make_dataset(args.kind, args.count, seed=args.seed,
@@ -361,6 +502,62 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--video-seed", type=int, default=1)
     _add_obs_args(p)
     p.set_defaults(func=_cmd_regression_check)
+
+    def _add_serve_video_args(p: argparse.ArgumentParser) -> None:
+        # Video + Pensieve construction: an HTTP loadgen can only verify
+        # served decisions when these match the server's flags exactly.
+        p.add_argument("--chunks", type=int, default=48)
+        p.add_argument("--video-seed", type=int, default=1)
+        p.add_argument("--protocols", default=None,
+                       help="comma-separated subset to serve "
+                            "(default: bb,bola,mpc,robust-mpc,rb,pensieve)")
+        p.add_argument("--pensieve-hidden", type=int, nargs="+",
+                       default=[64, 32],
+                       help="hidden layer widths of the demo Pensieve head")
+        p.add_argument("--pensieve-seed", type=int, default=11)
+        p.add_argument("--seed", type=int, default=0,
+                       help="service seed (per-session rng spawning)")
+        p.add_argument("--max-wait-us", type=float, default=0.0,
+                       help="coalescing window: max microseconds to wait for "
+                            "a full batch (0 = one event-loop tick)")
+
+    p = sub.add_parser("serve",
+                       help="run the ABR decision service over HTTP")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8008,
+                   help="listen port (0 = ephemeral)")
+    p.add_argument("--max-sessions", type=int, default=65_536)
+    _add_serve_video_args(p)
+    _add_exec_args(p)
+    _add_obs_args(p)
+    p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser("loadgen",
+                       help="closed-loop load generator for the decision service")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8008)
+    p.add_argument("--inproc", action="store_true",
+                   help="spin up the service in-process instead of over HTTP")
+    p.add_argument("--protocol", default="bola",
+                   help="protocol the simulated players request")
+    p.add_argument("--players", type=int, default=100)
+    p.add_argument("--codec", choices=("json", "binary"), default="json")
+    p.add_argument("--connections", type=int, default=32,
+                   help="HTTP keep-alive connection pool size")
+    p.add_argument("--traces", default=None,
+                   help="trace corpus (JSONL); default: random ABR traces")
+    p.add_argument("--n-traces", type=int, default=16)
+    p.add_argument("--trace-seed", type=int, default=0)
+    p.add_argument("--verify", action="store_true",
+                   help="replay every player inline and count decision "
+                        "mismatches (HTTP: video/Pensieve flags must match "
+                        "the server's)")
+    p.add_argument("--summary-out", default=None,
+                   help="write the latency/throughput summary JSON here")
+    _add_serve_video_args(p)
+    _add_exec_args(p)
+    _add_obs_args(p)
+    p.set_defaults(func=_cmd_loadgen)
 
     p = sub.add_parser("make-dataset", help="generate a synthetic trace corpus")
     p.add_argument("--kind", choices=("broadband", "3g"), required=True)

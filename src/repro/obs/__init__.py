@@ -15,6 +15,7 @@ no-op call when disabled.  Set ``$REPRO_LOG_DIR`` (or pass
 """
 
 from repro.obs.console import Console
+from repro.obs.histogram import Histogram
 from repro.obs.manifest import RunManifest, git_revision
 from repro.obs.metrics import (
     LOG_DIR_ENV,
@@ -27,6 +28,7 @@ from repro.obs.metrics import (
 
 __all__ = [
     "Console",
+    "Histogram",
     "LOG_DIR_ENV",
     "METRICS_FILENAME",
     "MetricsRecorder",

@@ -1,0 +1,156 @@
+"""Log-bucketed histograms for latency-style measurements.
+
+:class:`Histogram` records positive samples into logarithmically spaced
+buckets -- O(1) per sample, a fixed few-KB footprint regardless of
+sample count -- and answers quantile queries by walking the cumulative
+counts.  The resolution is bounded by the bucket ratio: with the default
+32 buckets per decade, a reported quantile is within ~3.7% of the true
+value (count, sum, min and max are tracked exactly).
+
+This is the serving layer's per-request latency store: recording must
+not allocate or sort, because it happens once per request on the event
+loop, while summaries are read rarely (``GET /stats``, shutdown).
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["Histogram"]
+
+
+class Histogram:
+    """Fixed-memory log-bucket histogram over ``(0, +inf)`` samples.
+
+    Parameters
+    ----------
+    lowest, highest:
+        The tracked range.  Samples below ``lowest`` land in an
+        underflow bucket (reported as ``lowest``), samples above
+        ``highest`` in an overflow bucket (reported as the exact
+        maximum seen).
+    buckets_per_decade:
+        Resolution: buckets spanning each 10x range.
+    """
+
+    __slots__ = (
+        "lowest",
+        "highest",
+        "buckets_per_decade",
+        "_counts",
+        "_log_lo",
+        "count",
+        "total",
+        "min",
+        "max",
+    )
+
+    def __init__(
+        self,
+        lowest: float = 1e-6,
+        highest: float = 100.0,
+        buckets_per_decade: int = 32,
+    ) -> None:
+        if not 0 < lowest < highest:
+            raise ValueError(f"need 0 < lowest < highest, got {lowest}, {highest}")
+        if buckets_per_decade < 1:
+            raise ValueError(f"buckets_per_decade must be >= 1, got {buckets_per_decade}")
+        self.lowest = float(lowest)
+        self.highest = float(highest)
+        self.buckets_per_decade = int(buckets_per_decade)
+        self._log_lo = math.log10(self.lowest)
+        decades = math.log10(self.highest) - self._log_lo
+        n = int(math.ceil(decades * self.buckets_per_decade))
+        # [0] underflow, [1..n] log buckets, [n+1] overflow.
+        self._counts = [0] * (n + 2)
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def record(self, value: float) -> None:
+        """Add one sample (clamped into the tracked range's buckets)."""
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        counts = self._counts
+        if value < self.lowest:
+            counts[0] += 1
+            return
+        idx = 1 + int((math.log10(value) - self._log_lo) * self.buckets_per_decade)
+        if idx > len(counts) - 2:
+            idx = len(counts) - 1
+        counts[idx] += 1
+
+    def _bucket_value(self, idx: int) -> float:
+        if idx <= 0:
+            return self.lowest
+        if idx >= len(self._counts) - 1:
+            return self.max
+        # Geometric midpoint of the bucket's edge pair.
+        return self.lowest * 10.0 ** ((idx - 0.5) / self.buckets_per_decade)
+
+    def quantile(self, q: float) -> float:
+        """The value at quantile ``q`` in [0, 1] (0 with no samples)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        if q <= 0.0:
+            return self.min
+        if q >= 1.0:
+            return self.max
+        rank = math.ceil(q * self.count)
+        seen = 0
+        for idx, n in enumerate(self._counts):
+            seen += n
+            if seen >= rank:
+                value = self._bucket_value(idx)
+                # Never report outside the exact envelope.
+                return min(max(value, self.min), self.max)
+        return self.max
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold ``other``'s samples into this histogram (same geometry)."""
+        if (
+            other.lowest != self.lowest
+            or other.highest != self.highest
+            or other.buckets_per_decade != self.buckets_per_decade
+        ):
+            raise ValueError("cannot merge histograms with different bucket geometry")
+        for idx, n in enumerate(other._counts):
+            self._counts[idx] += n
+        self.count += other.count
+        self.total += other.total
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+
+    def summary(self) -> dict[str, float]:
+        """Count/mean/quantiles as a plain dict (empty-safe)."""
+        if self.count == 0:
+            return {"count": 0, "mean": 0.0, "p50": 0.0, "p90": 0.0,
+                    "p99": 0.0, "min": 0.0, "max": 0.0}
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "p50": self.quantile(0.50),
+            "p90": self.quantile(0.90),
+            "p99": self.quantile(0.99),
+            "min": self.min,
+            "max": self.max,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        s = self.summary()
+        return (
+            f"Histogram(count={s['count']}, mean={s['mean']:.6g}, "
+            f"p50={s['p50']:.6g}, p99={s['p99']:.6g})"
+        )

@@ -1,0 +1,192 @@
+"""Micro-batching request coalescer: the serving layer's perf centerpiece.
+
+Concurrent in-flight requests are queued and drained in *windows* of up
+to ``max_batch`` items; each window is handed to one processing callback
+-- which serves every request in it with a single batched policy
+evaluation -- and the results are fanned back out to the per-request
+futures.  Window formation policy:
+
+- ``max_wait_us == 0`` (default): *opportunistic* batching.  After the
+  first request wakes the worker it yields one event-loop tick
+  (``asyncio.sleep(0)``), letting every already-runnable client task
+  enqueue before the drain.  Under concurrency this naturally fills
+  windows; a lone request is served on the very next tick, so idle-path
+  latency cost is one loop iteration.
+- ``max_wait_us > 0``: the worker additionally waits up to that long
+  for the window to fill to ``max_batch``, trading per-request latency
+  for occupancy -- useful when clients trickle in slower than one tick.
+
+Requests beyond ``max_batch`` are never dropped: they stay queued and
+spill into the immediately following window.  Closing the coalescer
+drains everything already submitted before the worker exits, which is
+what makes the server's shutdown graceful.
+
+The processing callback runs on the event loop (not a thread): batched
+numpy work holds the GIL anyway, and staying single-threaded keeps the
+adapters' per-lane state free of locking.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Callable, Sequence
+
+from repro.obs import NULL_RECORDER, MetricsRecorder
+
+__all__ = ["Coalescer"]
+
+
+class Coalescer:
+    """Queue requests; serve them in batched windows via ``process``.
+
+    ``process`` receives the window's items (in arrival order) and
+    returns one result per item, aligned; a result that is an
+    ``Exception`` instance rejects that item's future only, while an
+    exception raised by ``process`` itself rejects the whole window.
+    """
+
+    def __init__(
+        self,
+        process: Callable[[list[Any]], Sequence[Any]],
+        max_batch: int = 64,
+        max_wait_us: float = 0.0,
+        recorder: MetricsRecorder = NULL_RECORDER,
+    ) -> None:
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if max_wait_us < 0:
+            raise ValueError(f"max_wait_us must be >= 0, got {max_wait_us}")
+        self._process = process
+        self.max_batch = int(max_batch)
+        self.max_wait_s = float(max_wait_us) * 1e-6
+        self.recorder = recorder
+        self._queue: list[tuple[Any, asyncio.Future]] = []
+        self._wake: asyncio.Event = asyncio.Event()
+        self._full: asyncio.Event = asyncio.Event()
+        self._task: asyncio.Task | None = None
+        self._closing = False
+        # Occupancy accounting for /stats: windows served, items served,
+        # the widest window, and the deepest post-drain backlog (spill).
+        self.windows = 0
+        self.items = 0
+        self.max_occupancy = 0
+        self.spills = 0
+        self.max_queue_depth = 0
+
+    async def start(self) -> None:
+        if self._task is None:
+            self._closing = False
+            self._task = asyncio.get_running_loop().create_task(self._worker())
+
+    async def submit(self, item: Any) -> Any:
+        """Enqueue one request and await its result."""
+        if self._closing or self._task is None:
+            raise RuntimeError("coalescer is not running")
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._queue.append((item, future))
+        if len(self._queue) > self.max_queue_depth:
+            self.max_queue_depth = len(self._queue)
+        if len(self._queue) >= self.max_batch:
+            self._full.set()
+        self._wake.set()
+        return await future
+
+    async def _worker(self) -> None:
+        while True:
+            if not self._queue:
+                if self._closing:
+                    return
+                self._wake.clear()
+                await self._wake.wait()
+                if not self._queue:
+                    continue  # spurious wake (e.g. close with empty queue)
+            if len(self._queue) < self.max_batch and not self._closing:
+                if self.max_wait_s > 0.0:
+                    self._full.clear()
+                    if len(self._queue) < self.max_batch:
+                        try:
+                            await asyncio.wait_for(self._full.wait(), self.max_wait_s)
+                        except asyncio.TimeoutError:
+                            pass
+                else:
+                    # One event-loop tick: every already-runnable client
+                    # coroutine gets to enqueue before the drain below.
+                    await asyncio.sleep(0)
+            self._drain_one_window()
+
+    def _drain_one_window(self) -> None:
+        window = self._queue[: self.max_batch]
+        del self._queue[: len(window)]
+        if not window:
+            return
+        self.windows += 1
+        self.items += len(window)
+        if len(window) > self.max_occupancy:
+            self.max_occupancy = len(window)
+        if self._queue:
+            self.spills += 1
+        items = [item for item, _future in window]
+        try:
+            results = self._process(items)
+        except Exception as exc:
+            for _item, future in window:
+                if not future.cancelled():
+                    future.set_exception(exc)
+            return
+        if len(results) != len(window):
+            exc = RuntimeError(
+                f"coalescer process returned {len(results)} results "
+                f"for {len(window)} items"
+            )
+            for _item, future in window:
+                if not future.cancelled():
+                    future.set_exception(exc)
+            return
+        for (_item, future), result in zip(window, results):
+            if future.cancelled():
+                continue
+            if isinstance(result, Exception):
+                future.set_exception(result)
+            else:
+                future.set_result(result)
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self._queue)
+
+    @property
+    def mean_occupancy(self) -> float:
+        return self.items / self.windows if self.windows else 0.0
+
+    def stats(self) -> dict[str, float]:
+        return {
+            "max_batch": self.max_batch,
+            "max_wait_us": self.max_wait_s * 1e6,
+            "windows": self.windows,
+            "items": self.items,
+            "mean_occupancy": self.mean_occupancy,
+            "max_occupancy": self.max_occupancy,
+            "spills": self.spills,
+            "max_queue_depth": self.max_queue_depth,
+            "queue_depth": self.queue_depth,
+        }
+
+    def record_metrics(self, prefix: str = "serve/") -> None:
+        rec = self.recorder
+        if not rec.enabled:
+            return
+        rec.record(f"{prefix}windows", self.windows)
+        rec.record(f"{prefix}batch_occupancy", self.mean_occupancy)
+        rec.record(f"{prefix}max_occupancy", self.max_occupancy)
+        rec.record(f"{prefix}spills", self.spills)
+        rec.record(f"{prefix}max_queue_depth", self.max_queue_depth)
+
+    async def close(self) -> None:
+        """Drain every submitted request, then stop the worker."""
+        if self._task is None:
+            return
+        self._closing = True
+        self._wake.set()
+        self._full.set()
+        await self._task
+        self._task = None

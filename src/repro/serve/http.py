@@ -1,0 +1,199 @@
+"""Asyncio HTTP front end for the decision service.
+
+A deliberately small HTTP/1.1 server on ``asyncio.start_server`` --
+keep-alive, ``Content-Length`` bodies only (no chunked encoding, no
+TLS), because the clients are ABR players issuing one small POST per
+video chunk.  Routes:
+
+- ``POST /v1/decide`` -- one decision request (JSON or binary frame,
+  selected by ``Content-Type``; the response mirrors the codec).
+- ``GET /stats`` -- the service's observability snapshot (always JSON),
+  which also flushes serving telemetry through the recorder.
+- ``GET /healthz`` -- liveness probe.
+
+Graceful shutdown (:meth:`HttpServer.close`): stop accepting, mark the
+server closing so keep-alive loops finish their current request and
+stop, drain the coalescer (every already-submitted request is served),
+then close lingering connections.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+from repro.serve.protocol import CONTENT_JSON
+from repro.serve.service import DecisionService
+
+__all__ = ["HttpServer"]
+
+_MAX_HEADER_BYTES = 16 * 1024
+_MAX_BODY_BYTES = 1 << 20
+
+_REASONS = {
+    200: "OK", 400: "Bad Request", 404: "Not Found", 405: "Method Not Allowed",
+    408: "Request Timeout", 409: "Conflict", 413: "Payload Too Large",
+    415: "Unsupported Media Type", 431: "Request Header Fields Too Large",
+    500: "Internal Server Error", 503: "Service Unavailable",
+}
+
+
+def _response_bytes(status: int, payload: bytes, content_type: str,
+                    close: bool = False) -> bytes:
+    reason = _REASONS.get(status, "Unknown")
+    head = (
+        f"HTTP/1.1 {status} {reason}\r\n"
+        f"Content-Type: {content_type}\r\n"
+        f"Content-Length: {len(payload)}\r\n"
+        f"Connection: {'close' if close else 'keep-alive'}\r\n"
+        "\r\n"
+    )
+    return head.encode() + payload
+
+
+class HttpServer:
+    """One listening socket fronting one :class:`DecisionService`."""
+
+    def __init__(self, service: DecisionService, host: str = "127.0.0.1",
+                 port: int = 0) -> None:
+        self.service = service
+        self.host = host
+        self._requested_port = port
+        self._server: asyncio.AbstractServer | None = None
+        self._writers: set[asyncio.StreamWriter] = set()
+        self._conn_tasks: set[asyncio.Task] = set()
+        self._closing = False
+
+    @property
+    def port(self) -> int:
+        """The bound port (after :meth:`start`; 0 requests an ephemeral one)."""
+        if self._server is None:
+            return self._requested_port
+        return self._server.sockets[0].getsockname()[1]
+
+    async def start(self) -> None:
+        await self.service.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self._requested_port,
+            limit=_MAX_HEADER_BYTES,
+        )
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        await self._server.serve_forever()
+
+    async def close(self) -> None:
+        """Stop accepting, drain in-flight requests, close connections."""
+        self._closing = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        # Let keep-alive handlers that already read a request finish it:
+        # draining the coalescer serves everything submitted so far.
+        await self.service.close()
+        for writer in list(self._writers):
+            writer.close()
+        self._writers.clear()
+        # Closed sockets surface as EOF in the handlers' next read; await
+        # their orderly exit so no task outlives the server.
+        if self._conn_tasks:
+            await asyncio.gather(*list(self._conn_tasks), return_exceptions=True)
+        self._conn_tasks.clear()
+
+    # -- connection handling -----------------------------------------------
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+        self._writers.add(writer)
+        try:
+            while not self._closing:
+                try:
+                    raw = await reader.readuntil(b"\r\n\r\n")
+                except (asyncio.IncompleteReadError, ConnectionResetError):
+                    break
+                except asyncio.LimitOverrunError:
+                    writer.write(_response_bytes(
+                        431, b'{"error":{"status":431}}', CONTENT_JSON, close=True))
+                    await writer.drain()
+                    break
+                keep_alive = await self._handle_request(raw, reader, writer)
+                if not keep_alive:
+                    break
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            self._writers.discard(writer)
+            if task is not None:
+                self._conn_tasks.discard(task)
+            writer.close()
+
+    @staticmethod
+    def _parse_head(raw: bytes):
+        lines = raw.decode("latin-1").split("\r\n")
+        try:
+            method, path, _version = lines[0].split(" ", 2)
+        except ValueError:
+            return None
+        headers = {}
+        for line in lines[1:]:
+            if not line:
+                continue
+            name, _sep, value = line.partition(":")
+            headers[name.strip().lower()] = value.strip()
+        return method.upper(), path, headers
+
+    async def _handle_request(self, raw: bytes, reader: asyncio.StreamReader,
+                              writer: asyncio.StreamWriter) -> bool:
+        parsed = self._parse_head(raw)
+        if parsed is None:
+            writer.write(_response_bytes(
+                400, b'{"error":{"status":400,"code":"bad-request-line"}}',
+                CONTENT_JSON, close=True))
+            await writer.drain()
+            return False
+        method, path, headers = parsed
+        try:
+            length = int(headers.get("content-length", "0"))
+        except ValueError:
+            length = -1
+        if length < 0 or length > _MAX_BODY_BYTES:
+            writer.write(_response_bytes(
+                413, b'{"error":{"status":413,"code":"too-large"}}',
+                CONTENT_JSON, close=True))
+            await writer.drain()
+            return False
+        body = b""
+        if length:
+            try:
+                body = await reader.readexactly(length)
+            except (asyncio.IncompleteReadError, ConnectionResetError):
+                return False
+        status, payload, content_type = await self._dispatch(
+            method, path, headers, body)
+        client_close = headers.get("connection", "").lower() == "close"
+        keep_alive = not (client_close or self._closing)
+        writer.write(_response_bytes(status, payload, content_type,
+                                     close=not keep_alive))
+        await writer.drain()
+        return keep_alive
+
+    async def _dispatch(self, method: str, path: str, headers: dict,
+                        body: bytes) -> tuple[int, bytes, str]:
+        path = path.split("?", 1)[0]
+        if path == "/v1/decide":
+            if method != "POST":
+                return 405, b'{"error":{"status":405,"code":"method"}}', CONTENT_JSON
+            content_type = headers.get("content-type", CONTENT_JSON)
+            return await self.service.handle_raw(body, content_type)
+        if path in ("/stats", "/v1/stats"):
+            if method != "GET":
+                return 405, b'{"error":{"status":405,"code":"method"}}', CONTENT_JSON
+            self.service.record_metrics()
+            return 200, json.dumps(self.service.stats()).encode(), CONTENT_JSON
+        if path == "/healthz":
+            return 200, b'{"ok":true}', CONTENT_JSON
+        return 404, b'{"error":{"status":404,"code":"not-found"}}', CONTENT_JSON

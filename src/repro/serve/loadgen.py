@@ -1,0 +1,319 @@
+"""Closed-loop load generator for the decision service.
+
+Each simulated player owns a real client-side
+:class:`~repro.abr.simulator.StreamingSession` (replaying a trace with
+the chunk-indexed semantics), asks the server for every chunk decision,
+*applies* it, and reports the resulting observation with the next
+request -- the full request lifecycle a DASH player would drive, not a
+canned-payload blaster.  All players run concurrently on one event
+loop, which is exactly the concurrency shape the coalescer batches.
+
+Two transports:
+
+- :class:`InprocTransport` -- calls ``service.handle_raw`` directly:
+  the full pipeline (codec, store, coalescer, batched adapters) minus
+  the kernel socket hops.  This isolates the serving strategy from
+  TCP overhead and is what the committed benchmark's headline numbers
+  use.
+- :class:`HttpTransport` -- real sockets against an
+  :class:`~repro.serve.http.HttpServer`, over a keep-alive connection
+  pool.
+
+Verification: because decisions fully determine a session's evolution,
+replaying each player's trace through the *inline* serial policy
+(:func:`run_session`) yields the reference decision sequence; the
+report counts every divergence.  ``mismatches == 0`` is the serve-layer
+identity guarantee, end to end through whichever transport and codec
+the run used.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from dataclasses import dataclass
+
+from repro.abr.protocols.base import AbrPolicy, run_session
+from repro.abr.simulator import ChunkIndexedBandwidth, StreamingSession
+from repro.abr.video import Video
+from repro.obs import Histogram
+from repro.serve.protocol import (
+    CONTENT_JSON,
+    DecisionRequest,
+    ServeError,
+    decode_response,
+    encode_request,
+)
+from repro.serve.service import DecisionService
+from repro.traces.trace import Trace
+
+__all__ = [
+    "HttpTransport",
+    "InprocTransport",
+    "LoadReport",
+    "reference_decisions",
+    "run_loadgen",
+]
+
+
+class InprocTransport:
+    """Drive a :class:`DecisionService` in-process (no sockets)."""
+
+    name = "inproc"
+
+    def __init__(self, service: DecisionService) -> None:
+        self.service = service
+
+    async def request(self, body: bytes, content_type: str) -> tuple[int, bytes]:
+        status, payload, _ctype = await self.service.handle_raw(body, content_type)
+        return status, payload
+
+    async def fetch_stats(self) -> dict:
+        return self.service.stats()
+
+    async def close(self) -> None:
+        pass
+
+
+async def _read_http_response(reader: asyncio.StreamReader) -> tuple[int, bytes]:
+    raw = await reader.readuntil(b"\r\n\r\n")
+    lines = raw.decode("latin-1").split("\r\n")
+    status = int(lines[0].split(" ", 2)[1])
+    length = 0
+    for line in lines[1:]:
+        name, _sep, value = line.partition(":")
+        if name.strip().lower() == "content-length":
+            length = int(value.strip())
+    body = await reader.readexactly(length) if length else b""
+    return status, body
+
+
+class HttpTransport:
+    """Keep-alive connection pool against an :class:`HttpServer`."""
+
+    name = "http"
+
+    def __init__(self, host: str, port: int, connections: int = 32) -> None:
+        self.host = host
+        self.port = int(port)
+        self.connections = int(connections)
+        self._pool: asyncio.Queue | None = None
+
+    def _ensure_pool(self) -> asyncio.Queue:
+        if self._pool is None:
+            # Connections open lazily, one per pool slot, on first use.
+            self._pool = asyncio.Queue()
+            for _ in range(self.connections):
+                self._pool.put_nowait(None)
+        return self._pool
+
+    async def _roundtrip(self, conn, head: bytes, body: bytes):
+        if conn is None:
+            conn = await asyncio.open_connection(self.host, self.port)
+        reader, writer = conn
+        writer.write(head + body)
+        await writer.drain()
+        status, payload = await _read_http_response(reader)
+        return conn, status, payload
+
+    async def request(self, body: bytes, content_type: str) -> tuple[int, bytes]:
+        pool = self._ensure_pool()
+        conn = await pool.get()
+        head = (
+            f"POST /v1/decide HTTP/1.1\r\nHost: {self.host}\r\n"
+            f"Content-Type: {content_type}\r\n"
+            f"Content-Length: {len(body)}\r\n\r\n"
+        ).encode()
+        try:
+            conn, status, payload = await self._roundtrip(conn, head, body)
+        except Exception:
+            if conn is not None:
+                conn[1].close()
+            pool.put_nowait(None)
+            raise
+        pool.put_nowait(conn)
+        return status, payload
+
+    async def _get(self, path: str) -> tuple[int, bytes]:
+        pool = self._ensure_pool()
+        conn = await pool.get()
+        head = f"GET {path} HTTP/1.1\r\nHost: {self.host}\r\n\r\n".encode()
+        try:
+            conn, status, payload = await self._roundtrip(conn, head, b"")
+        except Exception:
+            if conn is not None:
+                conn[1].close()
+            pool.put_nowait(None)
+            raise
+        pool.put_nowait(conn)
+        return status, payload
+
+    async def fetch_stats(self) -> dict:
+        _status, payload = await self._get("/stats")
+        return json.loads(payload)
+
+    async def close(self) -> None:
+        if self._pool is None:
+            return
+        while not self._pool.empty():
+            conn = self._pool.get_nowait()
+            if conn is not None:
+                conn[1].close()
+        self._pool = None
+
+
+@dataclass
+class LoadReport:
+    """One loadgen run's outcome (requests/sec, latency, identity)."""
+
+    transport: str
+    protocol: str
+    players: int
+    requests: int
+    errors: int
+    wall_seconds: float
+    requests_per_second: float
+    latency_seconds: dict
+    mismatches: int  # -1 = not verified
+    server_stats: dict | None = None
+
+    def lines(self) -> list[str]:
+        lat = self.latency_seconds
+        out = [
+            f"transport {self.transport}, protocol {self.protocol}: "
+            f"{self.players} players, {self.requests} requests, "
+            f"{self.errors} errors",
+            f"  {self.requests_per_second:,.0f} req/s over "
+            f"{self.wall_seconds:.3f}s",
+            f"  latency p50 {lat['p50'] * 1e3:.3f} ms, "
+            f"p90 {lat['p90'] * 1e3:.3f} ms, "
+            f"p99 {lat['p99'] * 1e3:.3f} ms, "
+            f"max {lat['max'] * 1e3:.3f} ms",
+        ]
+        if self.mismatches >= 0:
+            out.append(f"  decision mismatches vs inline reference: "
+                       f"{self.mismatches}")
+        return out
+
+    def summary_dict(self) -> dict:
+        """JSON-safe summary (the CI latency artifact's row format)."""
+        return {
+            "transport": self.transport,
+            "protocol": self.protocol,
+            "players": self.players,
+            "requests": self.requests,
+            "errors": self.errors,
+            "wall_seconds": self.wall_seconds,
+            "requests_per_second": self.requests_per_second,
+            "latency_ms": {k: (v * 1e3 if k != "count" else v)
+                           for k, v in self.latency_seconds.items()},
+            "mismatches": self.mismatches,
+        }
+
+
+def reference_decisions(video: Video, trace: Trace, policy: AbrPolicy) -> list[int]:
+    """The inline serial decision sequence for one trace (the oracle)."""
+    result = run_session(video, trace, policy, chunk_indexed=True)
+    return [int(q) for q in result.qualities]
+
+
+async def _player(
+    sid: str,
+    video: Video,
+    trace: Trace,
+    protocol: str,
+    transport,
+    content_type: str,
+    latency: Histogram,
+    decisions: list[int],
+    failures: list[str],
+) -> None:
+    session = StreamingSession(
+        video, ChunkIndexedBandwidth(trace.bandwidths_mbps, cycle=True)
+    )
+    first = True
+    try:
+        while not session.done:
+            request = DecisionRequest(
+                session=sid,
+                observation=session.observation(),
+                protocol=protocol if first else None,
+            )
+            first = False
+            body = encode_request(request, content_type)
+            t0 = time.perf_counter()
+            _status, payload = await transport.request(body, content_type)
+            latency.record(time.perf_counter() - t0)
+            response = decode_response(payload, content_type)
+            decisions.append(response.quality)
+            session.download_chunk(response.quality)
+    except ServeError as exc:
+        failures.append(f"{sid}: {exc.status} {exc.code}: {exc.message}")
+    except Exception as exc:  # transport failures end this player only
+        failures.append(f"{sid}: {type(exc).__name__}: {exc}")
+
+
+async def run_loadgen(
+    transport,
+    video: Video,
+    traces: list[Trace],
+    protocol: str,
+    players: int,
+    content_type: str = CONTENT_JSON,
+    reference: AbrPolicy | None = None,
+    session_prefix: str = "player",
+    fetch_stats: bool = True,
+) -> LoadReport:
+    """Run ``players`` concurrent closed-loop sessions; report throughput.
+
+    Players share the trace corpus round-robin.  With ``reference`` (a
+    serial policy instance constructed like the server's), every
+    player's decisions are verified against the inline
+    :func:`run_session` replay of its trace.
+    """
+    if players < 1:
+        raise ValueError(f"players must be >= 1, got {players}")
+    if not traces:
+        raise ValueError("need at least one trace")
+    latency = Histogram()
+    decisions: list[list[int]] = [[] for _ in range(players)]
+    failures: list[str] = []
+    tasks = [
+        _player(
+            f"{session_prefix}-{p}", video, traces[p % len(traces)], protocol,
+            transport, content_type, latency, decisions[p], failures,
+        )
+        for p in range(players)
+    ]
+    t0 = time.perf_counter()
+    await asyncio.gather(*tasks)
+    wall = time.perf_counter() - t0
+
+    mismatches = -1
+    if reference is not None:
+        mismatches = 0
+        refs: dict[int, list[int]] = {}
+        for p in range(players):
+            u = p % len(traces)
+            if u not in refs:
+                refs[u] = reference_decisions(video, traces[u], reference)
+            ref = refs[u]
+            got = decisions[p]
+            mismatches += sum(a != b for a, b in zip(got, ref))
+            mismatches += abs(len(got) - len(ref))
+
+    requests = sum(len(d) for d in decisions)
+    stats = await transport.fetch_stats() if fetch_stats else None
+    return LoadReport(
+        transport=transport.name,
+        protocol=protocol,
+        players=players,
+        requests=requests,
+        errors=len(failures),
+        wall_seconds=wall,
+        requests_per_second=requests / wall if wall > 0 else 0.0,
+        latency_seconds=latency.summary(),
+        mismatches=mismatches,
+        server_stats=stats,
+    )

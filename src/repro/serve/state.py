@@ -1,0 +1,168 @@
+"""Server-side session state for the decision service.
+
+The batched adapters of :mod:`repro.abr.batched` were written against
+:class:`~repro.abr.simulator.StreamingSession`, but a decision server
+does not simulate downloads -- the *client* downloads and reports what
+happened.  :class:`RemoteSession` therefore mirrors exactly the session
+surface the adapters read (``video``, ``buffer_seconds``,
+``chunk_index``, ``done``, ``observation()``) and is refreshed from each
+request's decoded observation, so the PR 6 adapters serve remote
+clients unchanged and the serial/batched identity contract carries over
+verbatim.
+
+State checks live here because they need the served video: a reported
+observation must agree with the video's ladder width, chunk accounting
+and actual next-chunk sizes (the sizes feed the inline policies'
+feature vectors -- accepting a lie would break the served-vs-inline
+identity guarantee), and sessions must advance strictly in chunk order
+(the adapters' per-lane state, like MPC's error window, advances once
+per decision and cannot be rewound).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.abr.simulator import AbrObservation, ChunkResult
+from repro.abr.video import Video
+from repro.serve.protocol import ServeError
+
+__all__ = ["RemoteSession", "SessionState", "SessionStore", "chunk_result_from"]
+
+
+class RemoteSession:
+    """The :class:`StreamingSession` surface the batched adapters read.
+
+    Holds the latest client-reported observation; ``update`` validates
+    it against the served video before anything downstream sees it.
+    """
+
+    __slots__ = ("video", "chunk_index", "buffer_seconds", "_obs")
+
+    def __init__(self, video: Video) -> None:
+        self.video = video
+        self.chunk_index = 0
+        self.buffer_seconds = 0.0
+        self._obs: AbrObservation | None = None
+
+    @property
+    def done(self) -> bool:
+        return self.chunk_index >= self.video.n_chunks
+
+    def observation(self) -> AbrObservation:
+        if self._obs is None:
+            raise RuntimeError("no observation reported yet")
+        return self._obs
+
+    def update(self, obs: AbrObservation) -> None:
+        """Adopt a shape-validated observation after video-level checks."""
+        video = self.video
+        n = video.n_bitrates
+        if len(obs.next_chunk_sizes) != n:
+            raise ServeError(
+                400, "bad-observation",
+                f"next_chunk_sizes has {len(obs.next_chunk_sizes)} entries; "
+                f"the served video has {n} ladder rungs",
+            )
+        if obs.chunk_index >= video.n_chunks:
+            raise ServeError(
+                400, "bad-observation",
+                f"chunk_index {obs.chunk_index} beyond the "
+                f"{video.n_chunks}-chunk video",
+            )
+        if obs.chunks_remaining != video.n_chunks - obs.chunk_index:
+            raise ServeError(
+                400, "bad-observation",
+                f"chunks_remaining {obs.chunks_remaining} inconsistent with "
+                f"chunk_index {obs.chunk_index} of a {video.n_chunks}-chunk video",
+            )
+        if obs.last_quality is not None and obs.last_quality >= n:
+            raise ServeError(
+                400, "bad-observation",
+                f"last_quality {obs.last_quality} outside the {n}-rung ladder",
+            )
+        # The inline policies build features from the reported sizes; a
+        # mismatch would silently break served-vs-inline identity, so it
+        # is rejected instead.
+        if not np.array_equal(obs.next_chunk_sizes,
+                              video.chunk_sizes_bytes[obs.chunk_index]):
+            raise ServeError(
+                400, "bad-observation",
+                f"next_chunk_sizes do not match the served video's "
+                f"chunk {obs.chunk_index}",
+            )
+        self._obs = obs
+        self.chunk_index = obs.chunk_index
+        self.buffer_seconds = obs.buffer_seconds
+
+
+def chunk_result_from(obs: AbrObservation, video: Video) -> ChunkResult:
+    """Reconstruct the previous download as a :class:`ChunkResult`.
+
+    The adapters' observe hooks consume ``quality``, ``size_bytes`` and
+    ``download_seconds`` (plus session state); QoE-side fields are not
+    observable remotely and not read by any adapter, so they are zeroed.
+    """
+    quality = obs.last_quality
+    return ChunkResult(
+        chunk_index=obs.chunk_index - 1,
+        quality=quality,
+        bitrate_kbps=float(video.bitrates_kbps[quality]),
+        size_bytes=obs.last_chunk_bytes,
+        download_seconds=obs.last_download_seconds,
+        rebuffer_seconds=0.0,
+        sleep_seconds=0.0,
+        buffer_seconds=obs.buffer_seconds,
+        qoe=0.0,
+        done=False,
+    )
+
+
+@dataclass(slots=True)
+class SessionState:
+    """One live session: its protocol group, adapter lane and progress."""
+
+    sid: str
+    protocol: str
+    lane: int
+    remote: RemoteSession
+    next_chunk: int = 0
+    decisions: int = 0
+
+
+@dataclass
+class SessionStore:
+    """Sessions keyed by id, with lifetime counters for ``/stats``."""
+
+    max_sessions: int = 65_536
+    sessions: dict[str, SessionState] = field(default_factory=dict)
+    created: int = 0
+    retired: int = 0
+    _ids: itertools.count = field(default_factory=itertools.count)
+
+    def get(self, sid: str) -> SessionState | None:
+        return self.sessions.get(sid)
+
+    def next_index(self) -> int:
+        """A monotone per-store counter seeding new sessions' RNG streams."""
+        return next(self._ids)
+
+    def add(self, state: SessionState) -> None:
+        if len(self.sessions) >= self.max_sessions:
+            raise ServeError(
+                503, "at-capacity",
+                f"server at its {self.max_sessions}-session capacity",
+            )
+        self.sessions[state.sid] = state
+        self.created += 1
+
+    def retire(self, sid: str) -> SessionState:
+        state = self.sessions.pop(sid)
+        self.retired += 1
+        return state
+
+    def __len__(self) -> int:
+        return len(self.sessions)

@@ -213,6 +213,26 @@ class TestEngineBasics:
         with pytest.raises(ValueError):
             resolve_batch_size(-1)
 
+    def test_resolve_batch_size_env_errors_name_the_variable(self, monkeypatch):
+        # A malformed or negative $REPRO_BATCH_SIZE must blame the
+        # environment variable, not some callsite argument.
+        for bad in ("2.5", "nan", "16x", "- 1"):
+            monkeypatch.setenv("REPRO_BATCH_SIZE", bad)
+            with pytest.raises(ValueError, match=r"\$REPRO_BATCH_SIZE"):
+                resolve_batch_size(None)
+        monkeypatch.setenv("REPRO_BATCH_SIZE", "-3")
+        with pytest.raises(ValueError, match=r"\$REPRO_BATCH_SIZE must be >= 0"):
+            resolve_batch_size(None)
+        # ... while a bad explicit argument is reported as such.
+        monkeypatch.delenv("REPRO_BATCH_SIZE", raising=False)
+        with pytest.raises(ValueError, match="batch size must be >= 0"):
+            resolve_batch_size(-3)
+        # Whitespace and an explicit argument win over the environment.
+        monkeypatch.setenv("REPRO_BATCH_SIZE", "  12  ")
+        assert resolve_batch_size(None) == 12
+        monkeypatch.setenv("REPRO_BATCH_SIZE", "nope")
+        assert resolve_batch_size(8) == 8
+
     def test_engine_rejects_zero_batch(self):
         with pytest.raises(ValueError):
             BatchedSessionEngine(BufferBased(), batch_size=0)

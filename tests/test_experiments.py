@@ -92,3 +92,25 @@ class TestRobustnessExperiment:
             run_robustness_experiment(
                 video, [], {}, "x", switch_fractions=(1.2,)
             )
+
+    @pytest.mark.slow
+    def test_batched_evaluation_matches_serial(self, video):
+        # batch_size accelerates the evaluation sessions (and, with
+        # trace_seed set, adversarial trace generation); it must not
+        # change a single number.
+        corpus = make_dataset("broadband", 3, seed=0, duration=60.0)
+        test_sets = {"a": corpus[:2], "b": corpus[1:]}
+        kwargs = dict(
+            total_steps=768, adversary_steps=128, n_adversarial_traces=2,
+            switch_fractions=(0.5,), trace_seed=123,
+            pensieve_config=PPOConfig(n_steps=128, batch_size=64, hidden=(16,)),
+            adversary_config=PPOConfig(n_steps=64, batch_size=32, hidden=(8,)),
+        )
+        serial = run_robustness_experiment(
+            video, corpus, test_sets, "broadband", **kwargs
+        )
+        batched = run_robustness_experiment(
+            video, corpus, test_sets, "broadband", batch_size=4, **kwargs
+        )
+        assert serial.qoe == batched.qoe  # bitwise, not approx
+        assert serial.adversarial_trace_count == batched.adversarial_trace_count

@@ -1,0 +1,106 @@
+"""Tests for the log-bucketed latency histogram (repro.obs.histogram)."""
+
+import math
+
+import pytest
+
+from repro.obs import Histogram
+
+
+class TestRecording:
+    def test_exact_aggregates(self):
+        h = Histogram()
+        samples = [0.001, 0.002, 0.004, 0.010, 0.5]
+        for s in samples:
+            h.record(s)
+        assert h.count == len(samples)
+        assert h.total == pytest.approx(sum(samples))
+        assert h.min == min(samples)
+        assert h.max == max(samples)
+        assert h.mean == pytest.approx(sum(samples) / len(samples))
+
+    def test_quantile_relative_error_bound(self):
+        # With 32 buckets/decade the bucket ratio is 10**(1/32); a reported
+        # quantile is at most half a bucket from the true value.
+        h = Histogram(buckets_per_decade=32)
+        samples = [10 ** (-5 + 4 * i / 999) for i in range(1000)]
+        for s in samples:
+            h.record(s)
+        tol = 10 ** (0.5 / 32) - 1  # ~3.7%
+        ordered = sorted(samples)
+        for q in (0.10, 0.50, 0.90, 0.99):
+            true = ordered[math.ceil(q * len(ordered)) - 1]
+            assert h.quantile(q) == pytest.approx(true, rel=tol)
+
+    def test_extremes_are_exact(self):
+        h = Histogram()
+        for s in (0.003, 0.017, 0.4):
+            h.record(s)
+        assert h.quantile(0.0) == 0.003
+        assert h.quantile(1.0) == 0.4
+
+    def test_underflow_and_overflow(self):
+        h = Histogram(lowest=1e-3, highest=1.0)
+        h.record(1e-9)   # under the tracked range
+        h.record(50.0)   # over it
+        assert h.count == 2
+        assert h.min == 1e-9
+        assert h.max == 50.0
+        # Quantiles stay inside the exact [min, max] envelope.
+        assert h.quantile(0.25) >= 1e-9
+        assert h.quantile(1.0) == 50.0
+
+    def test_quantile_never_outside_envelope(self):
+        h = Histogram()
+        h.record(0.0123)
+        for q in (0.0, 0.5, 0.9, 1.0):
+            assert h.quantile(q) == pytest.approx(0.0123, rel=0.04)
+
+
+class TestSummaryAndMerge:
+    def test_empty_summary(self):
+        s = Histogram().summary()
+        assert s == {"count": 0, "mean": 0.0, "p50": 0.0, "p90": 0.0,
+                     "p99": 0.0, "min": 0.0, "max": 0.0}
+        assert Histogram().quantile(0.5) == 0.0
+
+    def test_summary_keys(self):
+        h = Histogram()
+        h.record(0.25)
+        s = h.summary()
+        assert set(s) == {"count", "mean", "p50", "p90", "p99", "min", "max"}
+        assert s["count"] == 1
+
+    def test_merge_matches_combined_recording(self):
+        a, b, both = Histogram(), Histogram(), Histogram()
+        for i, s in enumerate(10 ** (-4 + 3 * i / 99) for i in range(100)):
+            (a if i % 2 else b).record(s)
+            both.record(s)
+        a.merge(b)
+        merged, combined = a.summary(), both.summary()
+        # Summation order differs, so the mean may be off by an ulp.
+        assert merged.pop("mean") == pytest.approx(combined.pop("mean"))
+        assert merged == combined
+
+    def test_merge_rejects_different_geometry(self):
+        with pytest.raises(ValueError):
+            Histogram().merge(Histogram(buckets_per_decade=16))
+
+
+class TestValidation:
+    def test_bad_range(self):
+        with pytest.raises(ValueError):
+            Histogram(lowest=1.0, highest=0.1)
+        with pytest.raises(ValueError):
+            Histogram(lowest=0.0, highest=1.0)
+
+    def test_bad_resolution(self):
+        with pytest.raises(ValueError):
+            Histogram(buckets_per_decade=0)
+
+    def test_bad_quantile(self):
+        h = Histogram()
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+        with pytest.raises(ValueError):
+            h.quantile(-0.1)

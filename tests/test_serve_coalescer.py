@@ -1,0 +1,237 @@
+"""Tests for the micro-batching coalescer (repro.serve.coalescer).
+
+The suite has no asyncio plugin, so every test drives its own event loop
+via ``asyncio.run`` -- which also mirrors how the CLI runs the server.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.serve import Coalescer
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def echo_batches(log):
+    """A process callback that records each window it sees."""
+    def process(items):
+        log.append(list(items))
+        return [f"r:{item}" for item in items]
+    return process
+
+
+class TestWindows:
+    def test_single_request(self):
+        log = []
+
+        async def main():
+            c = Coalescer(echo_batches(log), max_batch=8)
+            await c.start()
+            result = await c.submit("a")
+            await c.close()
+            return result
+
+        assert run(main()) == "r:a"
+        assert log == [["a"]]
+
+    def test_concurrent_requests_coalesce_into_one_window(self):
+        log = []
+
+        async def main():
+            c = Coalescer(echo_batches(log), max_batch=16)
+            await c.start()
+            results = await asyncio.gather(*(c.submit(i) for i in range(10)))
+            await c.close()
+            return results
+
+        assert run(main()) == [f"r:{i}" for i in range(10)]
+        assert log == [list(range(10))]
+        # (occupancy accounting checked in TestStats)
+
+    def test_overflow_spills_to_next_window(self):
+        log = []
+
+        async def main():
+            c = Coalescer(echo_batches(log), max_batch=4)
+            await c.start()
+            results = await asyncio.gather(*(c.submit(i) for i in range(10)))
+            await c.close()
+            return results, c.stats()
+
+        results, stats = run(main())
+        assert results == [f"r:{i}" for i in range(10)]
+        # Nothing dropped, no window over max_batch, arrival order kept.
+        assert [i for w in log for i in w] == list(range(10))
+        assert all(len(w) <= 4 for w in log)
+        assert len(log[0]) == 4
+        assert stats["spills"] >= 1
+        assert stats["max_occupancy"] == 4
+        assert stats["items"] == 10
+
+    def test_max_wait_fills_window(self):
+        log = []
+
+        async def main():
+            c = Coalescer(echo_batches(log), max_batch=3, max_wait_us=50_000)
+            await c.start()
+            first = asyncio.ensure_future(c.submit("a"))
+            await asyncio.sleep(0.005)  # arrive within the wait window
+            rest = await asyncio.gather(c.submit("b"), c.submit("c"))
+            await c.close()
+            return [await first] + list(rest)
+
+        assert run(main()) == ["r:a", "r:b", "r:c"]
+        assert log == [["a", "b", "c"]]
+
+    def test_max_wait_timeout_serves_partial_window(self):
+        log = []
+
+        async def main():
+            c = Coalescer(echo_batches(log), max_batch=64, max_wait_us=1_000)
+            await c.start()
+            result = await c.submit("lone")
+            await c.close()
+            return result
+
+        assert run(main()) == "r:lone"
+        assert log == [["lone"]]
+
+
+class TestLifecycle:
+    def test_close_with_empty_queue(self):
+        async def main():
+            c = Coalescer(echo_batches([]), max_batch=4)
+            await c.start()
+            await c.close()
+            return c.windows
+
+        assert run(main()) == 0
+
+    def test_close_drains_submitted_requests(self):
+        log = []
+
+        async def main():
+            c = Coalescer(echo_batches(log), max_batch=4)
+            await c.start()
+            pending = [asyncio.ensure_future(c.submit(i)) for i in range(6)]
+            await asyncio.sleep(0)  # let the submit tasks enqueue
+            await c.close()  # must serve everything already submitted
+            return await asyncio.gather(*pending)
+
+        assert run(main()) == [f"r:{i}" for i in range(6)]
+        assert sum(len(w) for w in log) == 6
+
+    def test_submit_after_close_raises(self):
+        async def main():
+            c = Coalescer(echo_batches([]), max_batch=4)
+            await c.start()
+            await c.close()
+            with pytest.raises(RuntimeError):
+                await c.submit("late")
+
+        run(main())
+
+    def test_submit_before_start_raises(self):
+        async def main():
+            c = Coalescer(echo_batches([]), max_batch=4)
+            with pytest.raises(RuntimeError):
+                await c.submit("early")
+
+        run(main())
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            Coalescer(lambda items: items, max_batch=0)
+        with pytest.raises(ValueError):
+            Coalescer(lambda items: items, max_wait_us=-1.0)
+
+
+class TestErrorPropagation:
+    def test_per_item_exception_rejects_only_that_future(self):
+        def process(items):
+            return [ValueError("bad") if i == "bad" else f"r:{i}" for i in items]
+
+        async def main():
+            c = Coalescer(process, max_batch=8)
+            await c.start()
+            results = await asyncio.gather(
+                c.submit("a"), c.submit("bad"), c.submit("b"),
+                return_exceptions=True,
+            )
+            await c.close()
+            return results
+
+        a, bad, b = run(main())
+        assert a == "r:a" and b == "r:b"
+        assert isinstance(bad, ValueError)
+
+    def test_process_raise_rejects_whole_window(self):
+        def process(items):
+            raise RuntimeError("boom")
+
+        async def main():
+            c = Coalescer(process, max_batch=8)
+            await c.start()
+            results = await asyncio.gather(
+                c.submit("a"), c.submit("b"), return_exceptions=True
+            )
+            await c.close()
+            return results
+
+        results = run(main())
+        assert all(isinstance(r, RuntimeError) for r in results)
+
+    def test_result_count_mismatch_rejects_window(self):
+        async def main():
+            c = Coalescer(lambda items: ["only-one"], max_batch=8)
+            await c.start()
+            results = await asyncio.gather(
+                c.submit("a"), c.submit("b"), return_exceptions=True
+            )
+            await c.close()
+            return results
+
+        results = run(main())
+        assert all(isinstance(r, RuntimeError) for r in results)
+
+
+class TestStats:
+    def test_occupancy_accounting(self):
+        async def main():
+            c = Coalescer(lambda items: list(items), max_batch=8)
+            await c.start()
+            await asyncio.gather(*(c.submit(i) for i in range(8)))
+            await c.submit("x")
+            await c.close()
+            return c.stats()
+
+        stats = run(main())
+        assert stats["items"] == 9
+        assert stats["windows"] >= 2
+        assert stats["max_occupancy"] == 8
+        assert stats["mean_occupancy"] == pytest.approx(
+            stats["items"] / stats["windows"]
+        )
+        assert stats["queue_depth"] == 0
+
+    def test_record_metrics(self, tmp_path):
+        from repro.obs import MetricsRecorder
+
+        recorder = MetricsRecorder(tmp_path)
+
+        async def main():
+            c = Coalescer(lambda items: list(items), max_batch=4,
+                          recorder=recorder)
+            await c.start()
+            await asyncio.gather(*(c.submit(i) for i in range(4)))
+            c.record_metrics()
+            await c.close()
+
+        run(main())
+        recorder.close()
+        text = (tmp_path / "metrics.jsonl").read_text()
+        assert "serve/batch_occupancy" in text
+        assert "serve/windows" in text

@@ -1,0 +1,162 @@
+"""End-to-end tests for the HTTP front end (repro.serve.http)."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.abr.video import Video
+from repro.serve import (
+    CONTENT_BINARY,
+    CONTENT_JSON,
+    DecisionService,
+    HttpServer,
+    HttpTransport,
+    default_protocols,
+    run_loadgen,
+)
+from repro.traces.random_traces import random_abr_traces
+
+
+@pytest.fixture(scope="module")
+def video():
+    return Video.synthetic(n_chunks=6, seed=5)
+
+
+@pytest.fixture(scope="module")
+def traces():
+    return random_abr_traces(2, seed=11, n_segments=6)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+async def _with_server(video, fn, **service_kw):
+    service_kw.setdefault("batch_size", 8)
+    service = DecisionService(video, default_protocols(), **service_kw)
+    server = HttpServer(service)
+    await server.start()
+    transport = HttpTransport("127.0.0.1", server.port, connections=4)
+    try:
+        return await fn(server, transport)
+    finally:
+        await transport.close()
+        await server.close()
+
+
+async def _raw_request(server, payload: bytes,
+                       head: str | None = None) -> tuple[int, bytes]:
+    reader, writer = await asyncio.open_connection("127.0.0.1", server.port)
+    if head is None:
+        head = (
+            f"POST /v1/decide HTTP/1.1\r\nHost: x\r\n"
+            f"Content-Type: {CONTENT_JSON}\r\n"
+            f"Content-Length: {len(payload)}\r\nConnection: close\r\n\r\n"
+        )
+    writer.write(head.encode() + payload)
+    await writer.drain()
+    raw = await reader.readuntil(b"\r\n\r\n")
+    status = int(raw.split(b" ", 2)[1])
+    length = 0
+    for line in raw.decode("latin-1").split("\r\n")[1:]:
+        name, _sep, value = line.partition(":")
+        if name.strip().lower() == "content-length":
+            length = int(value.strip())
+    body = await reader.readexactly(length) if length else b""
+    writer.close()
+    return status, body
+
+
+class TestEndToEnd:
+    @pytest.mark.parametrize("content_type", [CONTENT_JSON, CONTENT_BINARY])
+    def test_identity_over_the_wire(self, video, traces, content_type):
+        async def fn(server, transport):
+            return await run_loadgen(
+                transport, video, traces, "mpc", players=4,
+                content_type=content_type,
+                reference=default_protocols()["mpc"],
+            )
+
+        report = run(_with_server(video, fn))
+        assert report.errors == 0
+        assert report.mismatches == 0
+        assert report.requests == 4 * video.n_chunks
+        assert report.server_stats["requests"]["errors"] == 0
+
+    def test_stats_and_healthz(self, video, traces):
+        async def fn(server, transport):
+            await run_loadgen(transport, video, traces, "bb", players=2,
+                              fetch_stats=False)
+            stats = await transport.fetch_stats()
+            health = await _raw_request(
+                server, b"", head="GET /healthz HTTP/1.1\r\nHost: x\r\n"
+                                  "Connection: close\r\n\r\n")
+            return stats, health
+
+        stats, (status, body) = run(_with_server(video, fn))
+        assert stats["requests"]["decisions"] == 2 * video.n_chunks
+        assert stats["coalescer"]["items"] == 2 * video.n_chunks
+        assert status == 200 and json.loads(body) == {"ok": True}
+
+
+class TestHttpErrors:
+    def test_malformed_body_is_400(self, video):
+        async def fn(server, transport):
+            return await _raw_request(server, b"{not json")
+
+        status, body = run(_with_server(video, fn))
+        assert status == 400
+        assert json.loads(body)["error"]["status"] == 400
+
+    def test_unknown_path_is_404(self, video):
+        async def fn(server, transport):
+            return await _raw_request(
+                server, b"", head="GET /nope HTTP/1.1\r\nHost: x\r\n"
+                                  "Connection: close\r\n\r\n")
+
+        status, body = run(_with_server(video, fn))
+        assert status == 404
+
+    def test_wrong_method_is_405(self, video):
+        async def fn(server, transport):
+            return await _raw_request(
+                server, b"", head="GET /v1/decide HTTP/1.1\r\nHost: x\r\n"
+                                  "Connection: close\r\n\r\n")
+
+        status, _body = run(_with_server(video, fn))
+        assert status == 405
+
+    def test_oversized_body_is_413(self, video):
+        async def fn(server, transport):
+            head = (
+                "POST /v1/decide HTTP/1.1\r\nHost: x\r\n"
+                f"Content-Length: {1 << 21}\r\n\r\n"
+            )
+            return await _raw_request(server, b"", head=head)
+
+        status, _body = run(_with_server(video, fn))
+        assert status == 413
+
+
+class TestShutdown:
+    def test_graceful_close_serves_submitted_work(self, video, traces):
+        # The loadgen inside _with_server finishes before close; close must
+        # then return without hanging and leave no stray handler tasks.
+        async def fn(server, transport):
+            report = await run_loadgen(transport, video, traces, "bola",
+                                       players=3, fetch_stats=False)
+            return report
+
+        report = run(_with_server(video, fn))  # asyncio.run would complain
+        assert report.errors == 0              # about lingering tasks
+
+    def test_close_is_idempotent(self, video):
+        async def main():
+            service = DecisionService(video, default_protocols(), batch_size=4)
+            server = HttpServer(service)
+            await server.start()
+            await server.close()
+            await server.close()
+
+        run(main())

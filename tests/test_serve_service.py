@@ -1,0 +1,313 @@
+"""Tests for the decision service (repro.serve.service).
+
+The load-bearing contract: a decision served through the coalesced
+batched path is bitwise identical to the inline ``AbrPolicy.select``
+call -- per protocol, with and without the MPC plan cache.
+"""
+
+import asyncio
+import dataclasses
+
+import pytest
+
+from repro.abr.video import Video
+from repro.exec import ResultCache
+from repro.serve import (
+    DecisionRequest,
+    DecisionService,
+    InprocTransport,
+    ServeError,
+    default_protocols,
+    run_loadgen,
+)
+from repro.traces.random_traces import random_abr_traces
+
+
+@pytest.fixture(scope="module")
+def video():
+    return Video.synthetic(n_chunks=8, seed=3)
+
+
+@pytest.fixture(scope="module")
+def traces():
+    return random_abr_traces(3, seed=7, n_segments=8)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+async def _loadgen(video, traces, protocol, batch_size, players=6, cache=None,
+                   verify=True):
+    protocols = default_protocols()
+    service = DecisionService(video, protocols, batch_size=batch_size,
+                              cache=cache)
+    async with service:
+        report = await run_loadgen(
+            InprocTransport(service), video, traces, protocol, players,
+            reference=default_protocols()[protocol] if verify else None,
+        )
+    return report, service
+
+
+class TestServeInlineIdentity:
+    """Satellite 3: serve <-> inline bitwise identity per protocol."""
+
+    @pytest.mark.parametrize("protocol", ["bb", "bola", "mpc", "pensieve"])
+    @pytest.mark.parametrize("batch_size", [1, 8])
+    def test_identity(self, video, traces, protocol, batch_size):
+        report, service = run(
+            _loadgen(video, traces, protocol, batch_size)
+        )
+        assert report.errors == 0
+        assert report.mismatches == 0
+        assert report.requests == 6 * video.n_chunks
+        assert service.mode == ("inline" if batch_size == 1 else "coalesced")
+
+    def test_robust_mpc_identity(self, video, traces):
+        report, _ = run(_loadgen(video, traces, "robust-mpc", 8))
+        assert report.errors == 0 and report.mismatches == 0
+
+    def test_windows_actually_coalesce(self, video, traces):
+        report, service = run(_loadgen(video, traces, "bola", 16, players=8))
+        assert report.mismatches == 0
+        assert service.coalescer.mean_occupancy > 1.5
+
+
+class TestMpcPlanCache:
+    def test_cache_preserves_identity_and_hits_on_repeat(self, video, traces,
+                                                         tmp_path):
+        cache = ResultCache(tmp_path)
+        # First sweep: all plan scans miss; decisions still inline-identical.
+        report1, _ = run(_loadgen(video, traces, "mpc", 8, cache=cache))
+        assert report1.mismatches == 0
+        stats1 = cache.stats()
+        assert stats1["misses"] > 0
+        # Second sweep over the same corpus: repeat decision states are
+        # served from the content-addressed store, decisions unchanged.
+        report2, service = run(_loadgen(video, traces, "mpc", 8, cache=cache))
+        assert report2.mismatches == 0
+        stats2 = cache.stats()
+        assert stats2["hits"] > stats1["hits"]
+        assert cache.hit_rate() > 0.0
+        assert service.stats()["cache"]["hit_rate"] == cache.hit_rate()
+
+
+class TestSessionErrors:
+    def _fresh_request(self, service, sid="s", protocol="bola", **overrides):
+        from repro.abr.simulator import ChunkIndexedBandwidth, StreamingSession
+
+        session = StreamingSession(
+            service.video, ChunkIndexedBandwidth([3.0], cycle=True)
+        )
+        obs = session.observation()
+        if overrides:
+            obs = dataclasses.replace(obs, **overrides)
+        return DecisionRequest(session=sid, observation=obs, protocol=protocol)
+
+    def test_out_of_order_chunk(self, video):
+        from repro.abr.simulator import ChunkIndexedBandwidth, StreamingSession
+
+        async def main():
+            async with DecisionService(video, default_protocols(),
+                                       batch_size=4) as service:
+                client = StreamingSession(
+                    video, ChunkIndexedBandwidth([3.0], cycle=True)
+                )
+                resp = await service.decide(DecisionRequest(
+                    "s", client.observation(), protocol="bola"))
+                client.download_chunk(resp.quality)
+                client.download_chunk(resp.quality)  # skip reporting chunk 1
+                with pytest.raises(ServeError) as exc_info:
+                    await service.decide(
+                        DecisionRequest("s", client.observation()))
+                return exc_info.value
+
+        err = run(main())
+        assert err.status == 409 and err.code == "out-of-order"
+
+    def test_unknown_session_must_start_at_chunk_zero(self, video):
+        async def main():
+            async with DecisionService(video, default_protocols(),
+                                       batch_size=4) as service:
+                req = self._fresh_request(service)
+                resp = await service.decide(req)
+                # Forge a mid-stream observation for a never-seen session.
+                from repro.abr.simulator import (
+                    ChunkIndexedBandwidth,
+                    StreamingSession,
+                )
+                client = StreamingSession(
+                    video, ChunkIndexedBandwidth([3.0], cycle=True)
+                )
+                client.download_chunk(resp.quality)
+                with pytest.raises(ServeError) as exc_info:
+                    await service.decide(DecisionRequest(
+                        "never-seen", client.observation(), protocol="bola"))
+                return exc_info.value
+
+        err = run(main())
+        assert err.status == 404 and err.code == "unknown-session"
+
+    def test_concurrent_requests_for_one_session(self, video):
+        async def main():
+            async with DecisionService(video, default_protocols(),
+                                       batch_size=8) as service:
+                req = self._fresh_request(service, sid="dup")
+                results = await asyncio.gather(
+                    service.decide(req), service.decide(req),
+                    return_exceptions=True,
+                )
+                return results
+
+        results = run(main())
+        codes = sorted(
+            r.code if isinstance(r, ServeError) else "ok" for r in results
+        )
+        assert codes == ["concurrent-session", "ok"]
+
+    def test_protocol_required_with_multiple_groups(self, video):
+        async def main():
+            async with DecisionService(video, default_protocols(),
+                                       batch_size=4) as service:
+                with pytest.raises(ServeError) as exc_info:
+                    await service.decide(
+                        self._fresh_request(service, protocol=None))
+                return exc_info.value
+
+        err = run(main())
+        assert err.status == 400 and err.code == "protocol-required"
+
+    def test_single_group_needs_no_protocol(self, video):
+        async def main():
+            async with DecisionService(video, {"bola": default_protocols()["bola"]},
+                                       batch_size=4) as service:
+                resp = await service.decide(
+                    self._fresh_request(service, protocol=None))
+                return resp
+
+        resp = run(main())
+        assert resp.quality >= 0
+
+    def test_unknown_protocol(self, video):
+        async def main():
+            async with DecisionService(video, default_protocols(),
+                                       batch_size=4) as service:
+                with pytest.raises(ServeError) as exc_info:
+                    await service.decide(
+                        self._fresh_request(service, protocol="quic"))
+                return exc_info.value
+
+        err = run(main())
+        assert err.status == 404 and err.code == "unknown-protocol"
+
+    def test_protocol_mismatch_on_continuation(self, video):
+        async def main():
+            async with DecisionService(video, default_protocols(),
+                                       batch_size=4) as service:
+                from repro.abr.simulator import (
+                    ChunkIndexedBandwidth,
+                    StreamingSession,
+                )
+                client = StreamingSession(
+                    video, ChunkIndexedBandwidth([3.0], cycle=True)
+                )
+                resp = await service.decide(DecisionRequest(
+                    "s", client.observation(), protocol="bb"))
+                client.download_chunk(resp.quality)
+                with pytest.raises(ServeError) as exc_info:
+                    await service.decide(DecisionRequest(
+                        "s", client.observation(), protocol="bola"))
+                return exc_info.value
+
+        err = run(main())
+        assert err.status == 409 and err.code == "protocol-mismatch"
+
+    def test_at_capacity(self, video):
+        async def main():
+            async with DecisionService(video, default_protocols(),
+                                       batch_size=4, max_sessions=1) as service:
+                await service.decide(self._fresh_request(service, sid="one"))
+                with pytest.raises(ServeError) as exc_info:
+                    await service.decide(self._fresh_request(service, sid="two"))
+                return exc_info.value
+
+        err = run(main())
+        assert err.status == 503 and err.code == "at-capacity"
+
+    def test_close_unknown_session(self, video):
+        async def main():
+            async with DecisionService(video, default_protocols(),
+                                       batch_size=4) as service:
+                with pytest.raises(ServeError) as exc_info:
+                    await service.decide(DecisionRequest(
+                        "ghost", observation=None, close=True))
+                return exc_info.value
+
+        err = run(main())
+        assert err.status == 404
+
+    def test_close_frees_lane_and_counts(self, video):
+        async def main():
+            async with DecisionService(video, default_protocols(),
+                                       batch_size=4) as service:
+                await service.decide(self._fresh_request(service, sid="s"))
+                resp = await service.decide(DecisionRequest(
+                    "s", observation=None, close=True))
+                return resp, service.stats()
+
+        resp, stats = run(main())
+        assert resp.closed is True
+        assert stats["sessions"]["active"] == 0
+        assert stats["requests"]["closed"] == 1
+
+
+class TestStatsShape:
+    def test_stats_keys(self, video, traces):
+        report, service = run(_loadgen(video, traces, "bb", 8, verify=False))
+        stats = service.stats()
+        assert set(stats) >= {
+            "uptime_seconds", "mode", "batch_size", "video", "protocols",
+            "requests", "sessions", "coalescer", "latency_seconds", "cache",
+        }
+        assert stats["cache"] is None  # no cache configured
+        assert stats["requests"]["decisions"] == report.requests
+        assert stats["sessions"]["created"] == report.players
+        assert stats["latency_seconds"]["count"] == report.requests
+        assert stats["protocols"]["bb"]["decisions"] == report.requests
+
+    def test_lanes_are_reused(self, video, traces):
+        # Players outnumber lanes only if lanes never free; sequential
+        # waves must reuse the retired sessions' lanes.
+        async def main():
+            async with DecisionService(video, default_protocols(),
+                                       batch_size=8) as service:
+                for wave in range(3):
+                    await run_loadgen(
+                        InprocTransport(service), video, traces, "bola", 4,
+                        session_prefix=f"wave{wave}", fetch_stats=False,
+                    )
+                return service.stats()
+
+        stats = run(main())
+        assert stats["sessions"]["created"] == 12
+        assert stats["protocols"]["bola"]["lanes"] <= 4
+
+    def test_record_metrics(self, video, traces, tmp_path):
+        from repro.obs import MetricsRecorder
+
+        recorder = MetricsRecorder(tmp_path)
+
+        async def main():
+            service = DecisionService(video, default_protocols(),
+                                      batch_size=8, recorder=recorder)
+            async with service:
+                await run_loadgen(InprocTransport(service), video, traces,
+                                  "bb", 4, fetch_stats=False)
+
+        run(main())
+        recorder.close()
+        text = (tmp_path / "metrics.jsonl").read_text()
+        for key in ("serve/requests", "serve/decisions",
+                    "serve/batch_occupancy", "serve/latency_p50"):
+            assert key in text
