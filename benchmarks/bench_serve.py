@@ -186,6 +186,14 @@ def main() -> int:
         f"coalesced vs batch=1 (prod head, inproc): {speedup:.2f}x "
         f"(floor {floor:.0f}x)",
     ]
+    if "mpc   coalesced  inproc" in rps and "mpc   batch=1    inproc" in rps:
+        # Tracks the lane-tiled plan scan (BatchedMPC._SCAN_LANE_TILE):
+        # before tiling, the uncached coalesced MPC row lost to batch=1.
+        mpc_speedup = (statistics.median(rps["mpc   coalesced  inproc"])
+                       / statistics.median(rps["mpc   batch=1    inproc"]))
+        lines.append(
+            f"coalesced vs batch=1 (mpc, inproc, uncached): {mpc_speedup:.2f}x"
+        )
     print("\n".join(lines))
 
     RESULTS_DIR.mkdir(exist_ok=True)

@@ -339,6 +339,15 @@ class BatchedMPC(BatchedAbrPolicy):
             self._scan_group(steps, members, actions)
         return actions
 
+    #: Lane-block size for the plan scan.  At horizon 4 the sweep is 1296
+    #: combos wide, so a full ``(L, 1296)`` pass streams several MB of
+    #: float64 temporaries per op once L grows -- the uncached batched-MPC
+    #: regression measured against serial in the serving benchmark.
+    #: Scanning a few lanes at a time keeps every temporary ~100 KB, i.e.
+    #: L2-resident across the whole op chain.  Rows are independent, so
+    #: tiling changes nothing at the bit level.
+    _SCAN_LANE_TILE = 8
+
     @staticmethod
     def _scan_group(steps: int, members: list[tuple], actions: np.ndarray) -> None:
         clone0 = members[0][1]
@@ -351,9 +360,7 @@ class BatchedMPC(BatchedAbrPolicy):
 
         rate = np.array([rate for _, _, _, rate in members])
         chunks = np.array([obs.chunk_index for _, _, obs, _ in members])
-        buffer = np.repeat(
-            np.array([obs.buffer_seconds for _, _, obs, _ in members])[:, None], n, axis=1
-        )
+        buffers0 = np.array([obs.buffer_seconds for _, _, obs, _ in members])
         prev0 = np.array(
             [
                 0.0 if obs.last_quality is None else qualities[obs.last_quality]
@@ -361,26 +368,40 @@ class BatchedMPC(BatchedAbrPolicy):
             ]
         )
         first = np.array([obs.last_quality is None for _, _, obs, _ in members])
-        total = np.zeros((m, n))
-        for k in range(steps):
-            sizes = video.chunk_sizes_bytes[(chunks + k)[:, None], combos[None, :, k]]
-            download = sizes / rate[:, None] + LINK_RTT_S
-            rebuffer = np.maximum(download - buffer, 0.0)
-            buffer = np.maximum(buffer - download, 0.0) + video.chunk_seconds
-            quality = qualities[combos[:, k]]
-            total += quality[None, :] - weights.rebuffer_penalty * rebuffer
-            if k == 0:
-                smooth = ~first
-                if smooth.any():
-                    total[smooth] -= weights.smooth_penalty * np.abs(
-                        quality[None, :] - prev0[smooth, None]
-                    )
-            else:
-                # After the first step `prev` is the shared per-combo
-                # quality vector: one (n,) penalty row serves every lane.
-                total -= (weights.smooth_penalty * np.abs(quality - prev_quality))[None, :]
-            prev_quality = quality
-        best = np.argmax(total, axis=1)
+        # Per-step rows that do not depend on the lane: the chosen quality
+        # per combo and (past the first step) the smoothing penalty --
+        # hoisted once, shared by every lane tile.
+        quality_rows = [qualities[combos[:, k]] for k in range(steps)]
+        penalty_rows: list[np.ndarray | None] = [None]
+        for k in range(1, steps):
+            penalty_rows.append(
+                (weights.smooth_penalty * np.abs(quality_rows[k] - quality_rows[k - 1]))[None, :]
+            )
+
+        best = np.empty(m, dtype=int)
+        tile = BatchedMPC._SCAN_LANE_TILE
+        for t0 in range(0, m, tile):
+            t1 = min(t0 + tile, m)
+            buffer = np.repeat(buffers0[t0:t1, None], n, axis=1)
+            rate_t = rate[t0:t1, None]
+            chunks_t = chunks[t0:t1]
+            total = np.zeros((t1 - t0, n))
+            for k in range(steps):
+                sizes = video.chunk_sizes_bytes[(chunks_t + k)[:, None], combos[None, :, k]]
+                download = sizes / rate_t + LINK_RTT_S
+                rebuffer = np.maximum(download - buffer, 0.0)
+                buffer = np.maximum(buffer - download, 0.0) + video.chunk_seconds
+                quality = quality_rows[k]
+                total += quality[None, :] - weights.rebuffer_penalty * rebuffer
+                if k == 0:
+                    smooth = ~first[t0:t1]
+                    if smooth.any():
+                        total[smooth] -= weights.smooth_penalty * np.abs(
+                            quality[None, :] - prev0[t0:t1][smooth, None]
+                        )
+                else:
+                    total -= penalty_rows[k]
+            best[t0:t1] = np.argmax(total, axis=1)
         for i, (pos, _, _, _) in enumerate(members):
             actions[pos] = combos[best[i], 0]
 

@@ -17,6 +17,7 @@ full 48-chunk playback costs a few milliseconds.
 from __future__ import annotations
 
 import itertools
+from collections import deque
 
 import numpy as np
 
@@ -53,7 +54,9 @@ class MPC(AbrPolicy):
         #: video of a different bitrate count rebuilds them.
         self._combos_key: tuple[int, int] | None = None
         self._qualities: np.ndarray | None = None
-        self._errors: list[float] = []
+        # maxlen evicts the oldest error in O(1); the list-based
+        # ``pop(0)`` this replaces shifted the whole window every chunk.
+        self._errors: deque[float] = deque(maxlen=self.window)
         self._last_prediction: float | None = None
 
     def reset(self, video: Video) -> None:
@@ -64,7 +67,7 @@ class MPC(AbrPolicy):
         self._qualities = np.array(
             [self.weights.quality(b) for b in video.bitrates_kbps]
         )
-        self._errors = []
+        self._errors = deque(maxlen=self.window)
         self._last_prediction = None
         key = (video.n_bitrates, self.horizon)
         if self._combos_key != key:
@@ -84,8 +87,6 @@ class MPC(AbrPolicy):
             actual = observation.last_throughput_mbps()
             if actual > 0:
                 self._errors.append(abs(self._last_prediction - actual) / actual)
-                if len(self._errors) > self.window:
-                    self._errors.pop(0)
         discount = 1.0 + (max(self._errors) if self._errors else 0.0)
         prediction = measured / discount
         self._last_prediction = prediction

@@ -33,7 +33,7 @@ import numpy as np
 from repro.abr.protocols.base import AbrPolicy
 from repro.abr.protocols.optimal import (
     optimal_qoe_exhaustive,
-    optimal_qoe_exhaustive_batch,
+    optimal_qoe_exhaustive_mixed,
 )
 from repro.abr.qoe import QoEWeights
 from repro.abr.simulator import ControlledBandwidth, StreamingSession
@@ -227,36 +227,21 @@ class AbrAdversaryEnv(Env):
         The :class:`~repro.rl.vec_env.SyncVecEnv` fast path: worlds advance
         serially (cheap), then the exhaustive ``r_opt`` searches -- the
         dominant per-step cost -- run as one vectorized
-        :func:`optimal_qoe_exhaustive_batch` call per distinct window
-        length.  Values are bitwise identical to per-env :meth:`step`.
+        :func:`optimal_qoe_exhaustive_mixed` call per distinct
+        (video, weights) pair, which itself groups mixed window lengths so
+        a staggered batch still searches in as few lattice sweeps as there
+        are distinct lengths.  Values are bitwise identical to per-env
+        :meth:`step`.
         """
         pre = [env._advance_world(actions[i]) for i, env in enumerate(envs)]
         r_opts: list[float | None] = [None] * len(envs)
-        # Group by (window length, video, weights); windows differ only in
-        # the first opt_window steps of an episode, so in steady state this
-        # is a single group.
         groups: dict[tuple, list[int]] = {}
-        for i, (env, (_bw, _s, _q, _res, start)) in enumerate(zip(envs, pre)):
-            window = len(env._chosen_bw) - start
-            key = (window, id(env.video), id(env.weights))
-            groups.setdefault(key, []).append(i)
-        for (window, _vid, _w), idxs in groups.items():
-            if len(idxs) == 1:
-                i = idxs[0]
-                env, start = envs[i], pre[i][4]
-                r_opt, _plan = optimal_qoe_exhaustive(
-                    env.video,
-                    start_chunk=start,
-                    bandwidths_mbps=env._chosen_bw[start:],
-                    start_buffer_s=env._buffer_before[start],
-                    prev_quality=env._prev_quality_before[start],
-                    weights=env.weights,
-                )
-                r_opts[i] = r_opt
-                continue
+        for i, env in enumerate(envs):
+            groups.setdefault((id(env.video), id(env.weights)), []).append(i)
+        for idxs in groups.values():
             first = envs[idxs[0]]
             starts = [pre[i][4] for i in idxs]
-            values = optimal_qoe_exhaustive_batch(
+            values = optimal_qoe_exhaustive_mixed(
                 first.video,
                 start_chunks=starts,
                 bandwidth_windows=[envs[i]._chosen_bw[s:] for i, s in zip(idxs, starts)],
@@ -277,6 +262,32 @@ class AbrAdversaryEnv(Env):
     def chosen_bandwidths(self) -> list[float]:
         """The bandwidths chosen so far this episode (one per chunk)."""
         return list(self._chosen_bw)
+
+    def batched_vec_env(self, n_envs: int, seed: int | None = None) -> VecEnv:
+        """The ``"batched"`` vec backend: this env's world, fully vectorized.
+
+        Returns a :class:`~repro.adversary.batched_env.BatchedAbrVecEnv`
+        configured like this env (same target/video/weights/goal/bounds)
+        that advances ``n_envs`` worlds per step with one batched target
+        call -- rollouts bitwise identical to
+        ``SyncVecEnv([this env] * n_envs)``.  This instance itself is not
+        consumed; it stays usable as a serial env.
+        """
+        from repro.adversary.batched_env import BatchedAbrVecEnv
+
+        return BatchedAbrVecEnv(
+            self.target,
+            self.video,
+            n_envs,
+            weights=self.weights,
+            smoothing_weight=self.reward_fn.smoothing_weight,
+            bw_low_mbps=float(self.bw_box.low[0]),
+            bw_high_mbps=float(self.bw_box.high[0]),
+            history_len=self.history_len,
+            opt_window=self.opt_window,
+            goal=self.goal,
+            seed=seed,
+        )
 
 
 @dataclass
@@ -328,12 +339,17 @@ def train_abr_adversary(
     ``n_envs == 1`` is the exact historical single-env path.  Either way
     the run is fully determined by ``seed``.  ``vec_backend`` picks the
     collection backend: ``"sync"`` (default) steps the copies in-process
-    and exploits the batched ``r_opt`` solver -- usually the faster choice
-    here -- while ``"subproc"`` gives each copy a worker process and
-    produces the same rollouts; its workers are shut down when training
-    completes (even when training raises), and the returned ``env`` is a
-    fresh local instance.  ``recorder`` receives the trainer's per-update
-    diagnostics (see :class:`~repro.rl.ppo.PPO`); it never alters results.
+    and exploits the batched ``r_opt`` solver, ``"subproc"`` gives each
+    copy a worker process, and ``"batched"`` advances every world inside
+    one fully vectorized
+    :class:`~repro.adversary.batched_env.BatchedAbrVecEnv` -- a single
+    batched target-policy call and one frame-ring scatter per step, the
+    fastest choice by a wide margin for NN targets (see
+    ``benchmarks/bench_vec_rollout.py``).  All three backends produce the
+    same rollouts bit for bit; with subproc/batched the returned ``env``
+    is a fresh local instance.  ``recorder`` receives the trainer's
+    per-update diagnostics (see :class:`~repro.rl.ppo.PPO`); it never
+    alters results.
     """
     cfg = config or default_abr_adversary_config()
     if n_envs != 1 or vec_backend != "sync":
@@ -357,6 +373,9 @@ def train_abr_adversary(
         if cfg.vec_backend == "subproc":
             vec = SubprocVecEnv([make_env] * cfg.n_envs)
             env = make_env()
+        elif cfg.vec_backend == "batched":
+            env = make_env()
+            vec = env.batched_vec_env(cfg.n_envs)
         else:
             vec = SyncVecEnv([make_env] * cfg.n_envs)
             env = vec.envs[0]

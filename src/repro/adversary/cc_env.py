@@ -224,6 +224,13 @@ def train_cc_adversary(
     per-update diagnostics (see :class:`~repro.rl.ppo.PPO`).
     """
     cfg = config or default_cc_adversary_config()
+    if vec_backend == "batched":
+        # The fully vectorized backend is ABR-only: the CC emulator's
+        # per-packet event loop has no lockstep batched equivalent.
+        raise ValueError(
+            "vec_backend='batched' is not supported for the CC adversary; "
+            "use 'sync' or 'subproc'"
+        )
     if n_envs != 1 or vec_backend != "sync":
         cfg = replace(cfg, n_envs=n_envs, vec_backend=vec_backend)
 

@@ -60,13 +60,19 @@ def robustify_pensieve(
     adversary_config: PPOConfig | None = None,
     weights: QoEWeights = QoEWeights(),
     recorder: MetricsRecorder | None = None,
+    n_envs: int = 1,
+    vec_backend: str = "sync",
 ) -> RobustificationResult:
     """Run the full four-step pipeline and return both trained agents.
 
     ``recorder`` receives per-phase wall-clock timings plus the
     adversary's per-update PPO diagnostics; inspecting the training
     curves around the 70%/90% switch point is how the paper's schedule
-    is tuned.  Recording never alters any result.
+    is tuned.  Recording never alters any result.  ``n_envs`` /
+    ``vec_backend`` configure the adversary-training phase's rollout
+    collection (step 2, the pipeline's dominant cost for NN targets);
+    ``vec_backend="batched"`` serves the frozen Pensieve target with one
+    batched forward per step and collects the same rollouts bit for bit.
     """
     if not 0.0 < switch_fraction < 1.0:
         raise ValueError("switch_fraction must be in (0, 1)")
@@ -100,6 +106,8 @@ def robustify_pensieve(
             config=adversary_config,
             weights=weights,
             recorder=recorder,
+            n_envs=n_envs,
+            vec_backend=vec_backend,
         )
 
     # (3) generate adversarial traces.

@@ -143,6 +143,7 @@ def _cmd_train_abr_adversary(args: argparse.Namespace) -> int:
             result = train_abr_adversary(
                 target, video, total_steps=args.steps, seed=args.seed,
                 smoothing_weight=args.smoothing_weight, goal=args.goal,
+                n_envs=args.n_envs, vec_backend=args.vec_backend,
                 recorder=recorder,
             )
         rewards = [h["mean_episode_reward"] for h in result.history]
@@ -439,6 +440,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--video-seed", type=int, default=1)
     p.add_argument("--smoothing-weight", type=float, default=1.0)
     p.add_argument("--goal", choices=("qoe_regret", "rebuffer"), default="qoe_regret")
+    p.add_argument("--n-envs", type=int, default=1,
+                   help="parallel rollout envs (1 = historical serial path)")
+    p.add_argument("--vec-backend", choices=("sync", "subproc", "batched"),
+                   default="sync",
+                   help="rollout backend for --n-envs > 1; 'batched' serves "
+                        "the target with one vectorized call per step "
+                        "(same rollouts bit for bit, fastest for pensieve)")
     p.add_argument("--out", help="save the trained model (.npz)")
     p.add_argument("--traces-out", help="write generated traces (JSONL)")
     p.add_argument("--n-traces", type=int, default=20)

@@ -323,7 +323,10 @@ def run_robustness_experiment(
     continuation, while the main line finishes unmodified ("Without Adv.").
 
     ``n_envs`` parallelizes the adversary trainings' rollout collection
-    and ``vec_backend`` picks the in-process or worker-process collector
+    and ``vec_backend`` picks the collector: in-process (``"sync"``),
+    worker-process (``"subproc"``), or the fully vectorized ``"batched"``
+    backend that serves the frozen Pensieve target with one batched
+    forward per step -- all bitwise-identical
     (see :func:`~repro.adversary.abr_env.train_abr_adversary`); setting
     ``trace_seed`` makes each generated adversarial trace independently
     reproducible instead of depending on the adversary trainer's leftover

@@ -55,7 +55,11 @@ class PPOConfig:
     #: envs in-process (:class:`~repro.rl.vec_env.SyncVecEnv`; right when
     #: the env step is cheap or batchable), ``"subproc"`` gives each env a
     #: worker process (:class:`~repro.rl.vec_env.SubprocVecEnv`; right when
-    #: the env step itself dominates, e.g. the packet-level CC emulator).
+    #: the env step itself dominates, e.g. the packet-level CC emulator),
+    #: and ``"batched"`` delegates to an env-provided fully vectorized
+    #: backend (one batched target-policy call per step; currently the
+    #: ABR adversary's :class:`~repro.adversary.batched_env.BatchedAbrVecEnv`).
+    #: All three produce bitwise-identical rollouts.
     vec_backend: str = "sync"
     gamma: float = 0.99
     gae_lambda: float = 0.95
@@ -76,9 +80,10 @@ class PPOConfig:
             raise ValueError("n_steps must be positive")
         if self.n_envs <= 0:
             raise ValueError("n_envs must be positive")
-        if self.vec_backend not in ("sync", "subproc"):
+        if self.vec_backend not in ("sync", "subproc", "batched"):
             raise ValueError(
-                f"vec_backend must be 'sync' or 'subproc', got {self.vec_backend!r}"
+                f"vec_backend must be 'sync', 'subproc' or 'batched', "
+                f"got {self.vec_backend!r}"
             )
         if not 0.0 < self.gamma <= 1.0:
             raise ValueError("gamma must be in (0, 1]")

@@ -433,15 +433,34 @@ def make_vec_env(
     cheap to copy; envs needing distinct construction-time state (e.g. a
     per-env emulator seed) should pass explicit factories instead.
 
-    ``backend`` selects :class:`SyncVecEnv` (``"sync"``, default) or
-    :class:`SubprocVecEnv` (``"subproc"``).  Prototype instances with the
+    ``backend`` selects :class:`SyncVecEnv` (``"sync"``, default),
+    :class:`SubprocVecEnv` (``"subproc"``), or an env-provided fully
+    vectorized backend (``"batched"``).  Prototype instances with the
     subproc backend rely on the ``fork`` start method (each worker inherits
     its copy at fork time).
+
+    The ``"batched"`` backend is duck-typed: the prototype env (the given
+    instance, or one built from the factory) must expose a
+    ``batched_vec_env(n_envs, seed=None)`` hook returning a :class:`VecEnv`
+    whose rollouts are bitwise identical to the sync backend's -- e.g.
+    :meth:`AbrAdversaryEnv.batched_vec_env
+    <repro.adversary.abr_env.AbrAdversaryEnv.batched_vec_env>`.  Envs
+    without the hook (such as the CC adversary) raise ``ValueError``.
     """
     if n_envs <= 0:
         raise ValueError("n_envs must be positive")
-    if backend not in ("sync", "subproc"):
+    if backend not in ("sync", "subproc", "batched"):
         raise ValueError(f"unknown vec-env backend {backend!r}")
+    if backend == "batched":
+        prototype = env_fn if isinstance(env_fn, Env) else env_fn()
+        hook = getattr(prototype, "batched_vec_env", None)
+        if hook is None:
+            raise ValueError(
+                f"{type(prototype).__name__} does not support the 'batched' "
+                "vec-env backend (no batched_vec_env hook); use 'sync' or "
+                "'subproc'"
+            )
+        return hook(n_envs, seed=seed)
     vec_cls = SubprocVecEnv if backend == "subproc" else SyncVecEnv
     if isinstance(env_fn, Env):
         prototype = env_fn

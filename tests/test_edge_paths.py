@@ -62,7 +62,7 @@ class TestMpcErrorTracking:
         trace = Trace.from_steps([2.0] * 8, 4.0)
         run_session(video, trace, mpc, chunk_indexed=True)
         mpc.reset(video)
-        assert mpc._errors == []
+        assert list(mpc._errors) == []
         assert mpc._last_prediction is None
 
 
