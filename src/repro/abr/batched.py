@@ -611,9 +611,22 @@ def as_batched(policy: AbrPolicy | BatchedAbrPolicy) -> BatchedAbrPolicy:
 
     Known policies get a vectorized adapter; anything else falls back to
     :class:`GenericBatched` (correct for every policy, no speedup).
+    Policies outside this module can register their own adapter by
+    defining ``__batched_adapter__() -> BatchedAbrPolicy`` (e.g.
+    ``repro.attacks.AttackedPensieve`` -- the hook avoids importing
+    higher-level packages from here).
     """
     if isinstance(policy, BatchedAbrPolicy):
         return policy
+    adapter_factory = getattr(policy, "__batched_adapter__", None)
+    if adapter_factory is not None:
+        adapter = adapter_factory()
+        if not isinstance(adapter, BatchedAbrPolicy):
+            raise TypeError(
+                f"{type(policy).__name__}.__batched_adapter__ returned "
+                f"{type(adapter).__name__}, expected a BatchedAbrPolicy"
+            )
+        return adapter
     if isinstance(policy, BufferBased):
         return BatchedBufferBased(policy)
     if isinstance(policy, Bola):

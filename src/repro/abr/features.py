@@ -39,7 +39,12 @@ def build_features(observation: AbrObservation, video: Video) -> np.ndarray:
     )
     throughputs = np.zeros(N_HISTORY)
     delays = np.zeros(N_HISTORY)
-    history = observation.throughput_history[-N_HISTORY:]
+    # ``StreamingSession`` keeps a bounded deque; deques don't support
+    # slicing, so materialise to a list first when needed.
+    raw_history = observation.throughput_history
+    if not isinstance(raw_history, list):
+        raw_history = list(raw_history)
+    history = raw_history[-N_HISTORY:]
     for slot, (size, dl) in enumerate(reversed(history)):
         if dl > 0:
             throughputs[slot] = (size * 8.0 / dl / 1e6) / _THROUGHPUT_NORM_MBPS

@@ -22,6 +22,7 @@ Bandwidth comes from a :class:`BandwidthSchedule`.  Two implementations:
 from __future__ import annotations
 
 import math
+from collections import deque
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -258,7 +259,14 @@ class StreamingSession:
         self.prev_quality: int | None = None
         self.last_chunk_bytes = 0.0
         self.last_download_seconds = 0.0
-        self.throughput_history: list[tuple[float, float]] = []
+        # Bounded ring of (size_bytes, download_seconds) pairs; a deque
+        # with ``maxlen`` drops the oldest entry in O(1) where the old
+        # ``list.pop(0)`` shifted the whole window every chunk (the same
+        # shape fixed for ``MPC._errors``).  Contents are identical to
+        # the list implementation at every step.
+        self.throughput_history: deque[tuple[float, float]] = deque(
+            maxlen=self.history_len
+        )
         self.results: list[ChunkResult] = []
 
     @property
@@ -328,10 +336,8 @@ class StreamingSession:
         self.prev_quality = quality
         self.last_chunk_bytes = size
         self.last_download_seconds = delay
-        history = self.throughput_history
-        history.append((size, delay))
-        if len(history) > self.history_len:
-            history.pop(0)
+        # ``maxlen`` evicts the oldest entry automatically (O(1)).
+        self.throughput_history.append((size, delay))
         self.chunk_index = chunk_index + 1
 
         result = ChunkResult(

@@ -1,0 +1,41 @@
+"""White-box observation-space attacks on learned network protocols.
+
+The paper's adversary perturbs the environment; this package adds the
+complementary Huang-et-al. axis -- FGSM and PGD on the agent's input
+features using the exact gradients of ``repro.nn`` -- plus the
+crafted-vs-evaluated transfer matrix that compares both attack families
+across protocols.
+"""
+
+from repro.attacks.policy import AttackedPensieve, BatchedAttackedPensieve
+from repro.attacks.transfer import (
+    BudgetCurvePoint,
+    TransferMatrix,
+    TransferRow,
+    attack_budget_curve,
+    mean_env_regret,
+    run_transfer_matrix,
+)
+from repro.attacks.whitebox import (
+    AttackConfig,
+    attack_decision,
+    feature_envelope,
+    input_gradient,
+    perturb_features,
+)
+
+__all__ = [
+    "AttackConfig",
+    "AttackedPensieve",
+    "BatchedAttackedPensieve",
+    "BudgetCurvePoint",
+    "TransferMatrix",
+    "TransferRow",
+    "attack_budget_curve",
+    "attack_decision",
+    "feature_envelope",
+    "input_gradient",
+    "mean_env_regret",
+    "perturb_features",
+    "run_transfer_matrix",
+]

@@ -1,0 +1,268 @@
+"""Cross-protocol transfer study for observation- and environment-space attacks.
+
+Extends Figure 2's cross-protocol damage measurement into a systematic
+*crafted-vs-evaluated* matrix (AdvNet-style): each row is an attack
+crafted against one (protocol, seed); each column is a protocol/seed the
+attack is then evaluated against.
+
+- **benign** row: every column on the clean trace corpus.
+- **obs:** rows: FGSM/PGD perturbations crafted with one Pensieve head's
+  gradients (the *surrogate*), applied to every Pensieve column's
+  observations.  Non-learning columns (bb, bola, mpc...) never consume
+  the feature vector, so an observation attack cannot touch them -- their
+  cells equal the benign row *by construction*, which is exactly the
+  paper-level claim the matrix demonstrates: white-box budgets that
+  cripple the learned policy leave rule-based protocols unaffected.
+- **env:** rows: adversarial *traces* (the paper's Eq. 1 adversary)
+  crafted against one target protocol and replayed chunk-indexed under
+  every column -- environment perturbations transfer to every protocol,
+  learning or not.
+
+All evaluation goes through
+:func:`~repro.experiments.abr_suite.evaluate_protocols`, so ``workers``
+(process fan-out), ``cache`` (content-addressed session memoization --
+attack configs are folded into the wrapper policies' cache state) and
+``batch_size`` (the lockstep engine) apply unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+import numpy as np
+
+from repro.abr.protocols.base import AbrPolicy
+from repro.abr.protocols.optimal import optimal_plan_dp
+from repro.abr.protocols.pensieve import PensieveAgent
+from repro.abr.qoe import QoEWeights
+from repro.abr.video import Video
+from repro.attacks.policy import AttackedPensieve
+from repro.attacks.whitebox import AttackConfig
+from repro.experiments.abr_suite import evaluate_protocols
+from repro.traces.trace import Trace
+
+__all__ = [
+    "BudgetCurvePoint",
+    "TransferMatrix",
+    "TransferRow",
+    "attack_budget_curve",
+    "mean_env_regret",
+    "run_transfer_matrix",
+]
+
+
+@dataclass
+class TransferRow:
+    """One crafted attack evaluated against every column."""
+
+    label: str
+    #: "benign" | "obs" | "env"
+    kind: str
+    #: column name -> mean QoE over the row's corpus.
+    qoe: dict[str, float]
+
+
+@dataclass
+class TransferMatrix:
+    """The full crafted-vs-evaluated grid plus per-row damage."""
+
+    columns: list[str]
+    rows: list[TransferRow] = field(default_factory=list)
+
+    @property
+    def benign(self) -> TransferRow:
+        return self.rows[0]
+
+    def damage(self, row: TransferRow, column: str) -> float:
+        """QoE damage (benign minus attacked) of one cell."""
+        return self.benign.qoe[column] - row.qoe[column]
+
+    def format_table(self, width: int = 9) -> str:
+        """Fixed-width text table (committed to ``results/``)."""
+        label_w = max(len("crafted vs"), *(len(r.label) for r in self.rows))
+        header = " | ".join(
+            [f"{'crafted vs':<{label_w}}"] + [f"{c:>{width}}" for c in self.columns]
+        )
+        rule = "-+-".join(["-" * label_w] + ["-" * width for _ in self.columns])
+        lines = [header, rule]
+        for row in self.rows:
+            cells = [f"{row.qoe[c]:>{width}.3f}" for c in self.columns]
+            lines.append(" | ".join([f"{row.label:<{label_w}}"] + cells))
+        return "\n".join(lines)
+
+
+def _means(per_trace: Mapping[str, list[float]]) -> dict[str, float]:
+    return {name: float(np.mean(qoes)) for name, qoes in per_trace.items()}
+
+
+def run_transfer_matrix(
+    video: Video,
+    traces: list[Trace],
+    heads: Mapping[str, PensieveAgent],
+    baselines: Mapping[str, AbrPolicy],
+    attacks: list[AttackConfig],
+    env_corpora: Mapping[str, list[Trace]] | None = None,
+    chunk_indexed: bool = False,
+    weights: QoEWeights = QoEWeights(),
+    workers=None,
+    cache=None,
+    recorder=None,
+    batch_size: int | None = None,
+) -> TransferMatrix:
+    """Build the crafted-vs-evaluated matrix.
+
+    ``heads`` are the Pensieve columns (differently seeded/trained
+    agents); ``baselines`` the non-learning columns.  Every attack config
+    is crafted against every head (the surrogate), giving white-box
+    cells on the diagonal and cross-seed transfer cells off it.
+    ``env_corpora`` maps row labels (e.g. ``"env:eq1@bb"``) to
+    pre-generated adversarial trace corpora, replayed chunk-indexed
+    under all columns.
+    """
+    columns = list(baselines) + list(heads)
+    matrix = TransferMatrix(columns=columns)
+
+    protocols: dict[str, AbrPolicy] = {**baselines, **heads}
+    benign = _means(
+        evaluate_protocols(
+            video, traces, protocols, chunk_indexed=chunk_indexed, weights=weights,
+            workers=workers, cache=cache, recorder=recorder, batch_size=batch_size,
+        )
+    )
+    matrix.rows.append(TransferRow(label="benign", kind="benign", qoe=benign))
+
+    for config in attacks:
+        for surrogate_name, surrogate in heads.items():
+            attacked: dict[str, AbrPolicy] = {
+                name: AttackedPensieve(
+                    agent, config,
+                    surrogate=None if agent is surrogate else surrogate,
+                )
+                for name, agent in heads.items()
+            }
+            qoe = _means(
+                evaluate_protocols(
+                    video, traces, attacked, chunk_indexed=chunk_indexed,
+                    weights=weights, workers=workers, cache=cache,
+                    recorder=recorder, batch_size=batch_size,
+                )
+            )
+            # Observation attacks cannot reach protocols that never read
+            # the feature vector: benign by construction, not re-run.
+            for name in baselines:
+                qoe[name] = benign[name]
+            matrix.rows.append(
+                TransferRow(
+                    label=f"obs:{config.label()}@{surrogate_name}",
+                    kind="obs",
+                    qoe=qoe,
+                )
+            )
+
+    for label, corpus in (env_corpora or {}).items():
+        qoe = _means(
+            evaluate_protocols(
+                video, corpus, protocols, chunk_indexed=True, weights=weights,
+                workers=workers, cache=cache, recorder=recorder,
+                batch_size=batch_size,
+            )
+        )
+        matrix.rows.append(TransferRow(label=label, kind="env", qoe=qoe))
+    return matrix
+
+
+@dataclass
+class BudgetCurvePoint:
+    """One (budget, damage) sample of the attack-strength sweep."""
+
+    eps: float
+    qoe_mean: float
+    damage: float
+
+
+def attack_budget_curve(
+    video: Video,
+    traces: list[Trace],
+    agent: PensieveAgent,
+    base_config: AttackConfig,
+    eps_values: list[float],
+    surrogate: PensieveAgent | None = None,
+    chunk_indexed: bool = False,
+    weights: QoEWeights = QoEWeights(),
+    workers=None,
+    cache=None,
+    recorder=None,
+    batch_size: int | None = None,
+) -> list[BudgetCurvePoint]:
+    """Sweep the attack budget and record mean QoE damage at each ``eps``.
+
+    The ``eps = 0`` point (include it in ``eps_values`` to anchor the
+    curve) is exactly the clean evaluation; damage is measured against
+    the first ``eps == 0`` sample or, absent one, a separate clean run.
+    Comparing these points against the environment adversary's Eq. 1
+    regret (:func:`mean_env_regret`) at matched damage answers "how much
+    observation budget buys the same QoE loss as trace crafting".
+    """
+    from dataclasses import replace
+
+    protocols: dict[str, AbrPolicy] = {}
+    for eps in eps_values:
+        config = replace(base_config, eps=float(eps))
+        protocols[f"eps={eps:g}"] = (
+            AttackedPensieve(agent, config, surrogate=surrogate)
+            if eps > 0.0
+            else agent
+        )
+    per_trace = evaluate_protocols(
+        video, traces, protocols, chunk_indexed=chunk_indexed, weights=weights,
+        workers=workers, cache=cache, recorder=recorder, batch_size=batch_size,
+    )
+    means = _means(per_trace)
+    if any(eps == 0.0 for eps in eps_values):
+        clean = means[f"eps={0:g}"]
+    else:
+        clean = float(
+            np.mean(
+                evaluate_protocols(
+                    video, traces, {"clean": agent}, chunk_indexed=chunk_indexed,
+                    weights=weights, workers=workers, cache=cache,
+                    recorder=recorder, batch_size=batch_size,
+                )["clean"]
+            )
+        )
+    return [
+        BudgetCurvePoint(
+            eps=float(eps),
+            qoe_mean=means[f"eps={eps:g}"],
+            damage=clean - means[f"eps={eps:g}"],
+        )
+        for eps in eps_values
+    ]
+
+
+def mean_env_regret(
+    video: Video,
+    traces: list[Trace],
+    qoe_means: list[float],
+    weights: QoEWeights = QoEWeights(),
+) -> float:
+    """Mean Eq. 1 regret of a protocol over an adversarial corpus.
+
+    The paper's adversary reward is ``r_opt - r_protocol - p_smoothing``;
+    per trace we take the offline-optimal per-chunk QoE (dynamic program
+    over the crafted bandwidths) minus the protocol's achieved per-chunk
+    QoE.  ``qoe_means`` must align with ``traces`` (one mean per trace,
+    e.g. one column of :func:`evaluate_protocols` on the corpus).
+    """
+    if len(traces) != len(qoe_means):
+        raise ValueError(
+            f"{len(traces)} traces but {len(qoe_means)} QoE means"
+        )
+    regrets = []
+    for trace, qoe_mean in zip(traces, qoe_means):
+        opt_total, _ = optimal_plan_dp(
+            video, trace.bandwidths_mbps[: video.n_chunks], weights=weights
+        )
+        regrets.append(opt_total / max(video.n_chunks, 1) - qoe_mean)
+    return float(np.mean(regrets))

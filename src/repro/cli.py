@@ -8,6 +8,8 @@ Usage examples::
     python -m repro.cli train-cc-adversary --steps 150000 \
         --traces-out anti_bbr.jsonl --n-traces 5
     python -m repro.cli evaluate-cc --traces anti_bbr.jsonl --sender bbr
+    python -m repro.cli attack-abr --attack pgd --eps 0.05 --pgd-steps 10 \
+        --verify --summary-out attack.json
     python -m repro.cli make-dataset --kind 3g --count 50 --out corpus.jsonl
     python -m repro.cli serve --port 8008 --batch-size 64
     python -m repro.cli loadgen --port 8008 --protocol pensieve \
@@ -416,6 +418,115 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
     return 1 if (report.errors or report.mismatches > 0) else 0
 
 
+def _attack_config(args: argparse.Namespace):
+    from repro.attacks import AttackConfig
+
+    return AttackConfig(
+        kind=args.attack, norm=args.norm, eps=args.eps, steps=args.pgd_steps,
+        step_size=args.step_size, targeted=args.targeted,
+        target_action=args.target_action, rand_init=args.rand_init,
+        seed=args.attack_seed,
+    )
+
+
+def _cmd_attack_abr(args: argparse.Namespace) -> int:
+    from repro.abr.protocols.pensieve import train_pensieve
+    from repro.attacks import AttackedPensieve
+    from repro.serve.service import make_demo_pensieve
+    from repro.traces.random_traces import random_abr_traces
+
+    with _run_context(args) as (recorder, console):
+        video = Video.synthetic(n_chunks=args.chunks, seed=args.video_seed)
+        if args.traces:
+            traces = load_corpus(args.traces)
+        else:
+            traces = random_abr_traces(args.n_traces, seed=args.trace_seed,
+                                       n_segments=args.chunks)
+
+        def make_head(seed: int):
+            if args.pensieve_train_steps > 0:
+                train = random_abr_traces(16, seed=seed + 1000,
+                                          n_segments=args.chunks)
+                with recorder.timer("cli/pensieve_train_seconds", seed=seed):
+                    return train_pensieve(
+                        train, video, total_steps=args.pensieve_train_steps,
+                        seed=seed,
+                    ).agent
+            return make_demo_pensieve(seed=seed)
+
+        victim = make_head(args.pensieve_seed)
+        surrogate = None
+        if (args.surrogate_seed is not None
+                and args.surrogate_seed != args.pensieve_seed):
+            surrogate = make_head(args.surrogate_seed)
+        attacked = AttackedPensieve(victim, _attack_config(args),
+                                    surrogate=surrogate)
+        cache = _resolve_cache(args)
+        protocols = {
+            "bb": BufferBased(),
+            "mpc": MPC(robust=False),
+            "pensieve": victim,
+            attacked.name: attacked,
+        }
+        qoe = evaluate_protocols(
+            video, traces, protocols, chunk_indexed=args.chunk_indexed,
+            workers=args.workers, cache=cache if cache is not None else False,
+            recorder=recorder, batch_size=args.batch_size,
+        )
+        clean_mean = float(np.mean(qoe["pensieve"]))
+        rows = []
+        for name, qoes in qoe.items():
+            mean = float(np.mean(qoes))
+            damage = clean_mean - mean if name == attacked.name else 0.0
+            rows.append([name, mean, float(np.min(qoes)), damage])
+        console.out(format_table(
+            ["protocol", "mean QoE", "min QoE", "damage vs clean"], rows
+        ))
+        damage = clean_mean - float(np.mean(qoe[attacked.name]))
+        recorder.record("cli/attack_damage", damage)
+
+        mismatches = 0
+        if args.verify:
+            # Determinism check: replay the attacked evaluation serially
+            # and through the batched engine, both uncached (a cache hit
+            # would trivially "match"), and demand bitwise-equal QoE.
+            reference = qoe[attacked.name]
+            replays = {
+                "serial": dict(workers=0, batch_size=0),
+                "batched": dict(workers=0,
+                                batch_size=max(resolve_batch_size(args.batch_size), 7)),
+            }
+            for label, opts in replays.items():
+                replay = evaluate_protocols(
+                    video, traces, {attacked.name: attacked},
+                    chunk_indexed=args.chunk_indexed, cache=False,
+                    recorder=recorder, **opts,
+                )[attacked.name]
+                bad = sum(a != b for a, b in zip(reference, replay))
+                mismatches += bad
+                console.info(f"verify {label}: "
+                             f"{'OK' if bad == 0 else f'{bad} mismatches'}")
+            recorder.record("cli/verify_mismatches", mismatches)
+
+        if args.summary_out:
+            summary = {
+                "attack": attacked.name,
+                "eps": args.eps,
+                "clean_qoe_mean": clean_mean,
+                "attacked_qoe_mean": float(np.mean(qoe[attacked.name])),
+                "damage": damage,
+                "qoe": {name: float(np.mean(q)) for name, q in qoe.items()},
+                "verify_mismatches": mismatches if args.verify else None,
+            }
+            with open(args.summary_out, "w") as fh:
+                json.dump(summary, fh, indent=2)
+                fh.write("\n")
+            console.info(f"wrote attack summary to {args.summary_out}")
+        _report_exec(cache, args.workers, recorder, console,
+                     batch_size=args.batch_size)
+    return 1 if mismatches else 0
+
+
 def _cmd_make_dataset(args: argparse.Namespace) -> int:
     with _run_context(args) as (recorder, console):
         traces = make_dataset(args.kind, args.count, seed=args.seed,
@@ -566,6 +677,50 @@ def build_parser() -> argparse.ArgumentParser:
     _add_exec_args(p)
     _add_obs_args(p)
     p.set_defaults(func=_cmd_loadgen)
+
+    p = sub.add_parser("attack-abr",
+                       help="evaluate Pensieve under white-box FGSM/PGD "
+                            "observation attacks")
+    p.add_argument("--attack", choices=("fgsm", "pgd"), default="fgsm")
+    p.add_argument("--norm", choices=("linf", "l2"), default="linf")
+    p.add_argument("--eps", type=float, default=0.05,
+                   help="attack budget in raw feature units")
+    p.add_argument("--pgd-steps", type=int, default=10,
+                   help="PGD iterations (ignored for fgsm)")
+    p.add_argument("--step-size", type=float, default=None,
+                   help="PGD step size (default: 2.5*eps/steps)")
+    p.add_argument("--targeted", action="store_true",
+                   help="drag decisions toward --target-action instead of "
+                        "untargeted cross-entropy ascent")
+    p.add_argument("--target-action", type=int, default=0,
+                   help="ladder index the targeted attack forces (0 = lowest)")
+    p.add_argument("--rand-init", action="store_true",
+                   help="random PGD start inside the budget ball")
+    p.add_argument("--attack-seed", type=int, default=0,
+                   help="seed for the attack's (per-session) random start")
+    p.add_argument("--pensieve-seed", type=int, default=0,
+                   help="victim head seed")
+    p.add_argument("--pensieve-train-steps", type=int, default=6000,
+                   help="PPO steps to train each head (0 = frozen demo head)")
+    p.add_argument("--surrogate-seed", type=int, default=None,
+                   help="craft gradients with a different head's seed "
+                        "(transfer attack); default: white-box")
+    p.add_argument("--traces", default=None,
+                   help="trace corpus (JSONL); default: random ABR traces")
+    p.add_argument("--n-traces", type=int, default=12)
+    p.add_argument("--trace-seed", type=int, default=0)
+    p.add_argument("--chunks", type=int, default=48)
+    p.add_argument("--video-seed", type=int, default=1)
+    p.add_argument("--chunk-indexed", action="store_true",
+                   help="apply one bandwidth per chunk (adversarial replay)")
+    p.add_argument("--verify", action="store_true",
+                   help="replay the attacked evaluation serially and batched, "
+                        "uncached, and fail on any QoE mismatch")
+    p.add_argument("--summary-out", default=None,
+                   help="write a JSON summary (means, damage, verify) here")
+    _add_exec_args(p)
+    _add_obs_args(p)
+    p.set_defaults(func=_cmd_attack_abr)
 
     p = sub.add_parser("make-dataset", help="generate a synthetic trace corpus")
     p.add_argument("--kind", choices=("broadband", "3g"), required=True)

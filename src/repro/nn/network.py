@@ -221,7 +221,9 @@ class MLP:
         """Backpropagate ``dLoss/dOutput``; returns ``dLoss/dInput``.
 
         ``dout`` may be scaled in place by activation layers; pass a copy
-        if the caller needs it afterwards.  With ``need_input_grad=False``
+        if the caller needs it afterwards (or use
+        :meth:`backward_input_grad`, which copies both ways).  With
+        ``need_input_grad=False``
         the caller promises not to use the return value, letting the hot
         path skip the first layer's (otherwise dead) input-gradient
         matmul; parameter gradients are unaffected.  The result may then
@@ -322,6 +324,27 @@ class MLP:
                 np.matmul(dout, dense.W.T, out=dx)
             dout = dx
         return dout
+
+    def backward_input_grad(self, dout: np.ndarray) -> np.ndarray:
+        """Backpropagate ``dLoss/dOutput`` and return a *caller-owned* input grad.
+
+        The attack-facing entry point around :meth:`backward`'s two
+        documented hazards: activation layers scale ``dout`` in place on
+        the fast path (an FGSM/PGD loop that rebuilds its loss gradient
+        from a reused array would be silently corrupted across
+        iterations), and the returned input gradient is the first layer's
+        scratch (overwritten by the next backward of this network).  This
+        wrapper copies on the way in and on the way out, so the caller's
+        ``dout`` is never mutated and the result survives later passes.
+
+        Parameter gradients still accumulate into ``dW``/``db`` exactly
+        as :meth:`backward` does; callers that only want input gradients
+        (adversarial-example crafting) should :meth:`zero_grad` before
+        the next training use of the network.
+        """
+        dout = np.array(dout, dtype=float, copy=True, ndmin=2)
+        dx = self.backward(dout, need_input_grad=True)
+        return np.array(dx, dtype=float, copy=True)
 
     def _build_bplan(self, n: int) -> None:
         plan = []

@@ -159,6 +159,23 @@ class TestStreamingSession:
             session.download_chunk(0)
         assert len(session.observation().throughput_history) == 3
 
+    def test_throughput_history_is_bounded_deque(self, video):
+        """Eviction is O(1) via deque(maxlen=...), not list.pop(0); the
+        window keeps the most recent samples and observations still
+        expose a plain list."""
+        from collections import deque
+
+        session = StreamingSession(video, ControlledBandwidth(5.0), history_len=3)
+        assert isinstance(session.throughput_history, deque)
+        assert session.throughput_history.maxlen == 3
+        samples = []
+        for _ in range(6):
+            result = session.download_chunk(0)
+            samples.append((result.size_bytes, result.download_seconds))
+        history = session.observation().throughput_history
+        assert isinstance(history, list)
+        assert history == samples[-3:]
+
     def test_summary_totals(self, video):
         session = StreamingSession(video, ControlledBandwidth(2.0))
         while not session.done:
