@@ -1,0 +1,382 @@
+"""The adversarial scenario matrix: 5 protocols x 4 contention scenarios.
+
+Section 5's agenda goes past single-flow utilization: "finding conditions
+in which the protocol causes the highest amount of congestion", incast,
+unfairness.  This module evaluates every congestion-control protocol in
+the tree under a fixed grid of contention scenarios on the multi-flow
+fast path (:class:`repro.cc.multiflow.MultiFlowEmulator`):
+
+- ``solo``        -- one flow on the steady mid-range link (baseline),
+- ``pair-same``   -- two flows of the same protocol (intra-protocol
+  fairness),
+- ``pair-mixed``  -- the protocol vs a fixed reference competitor
+  (inter-protocol fairness; BBR, the paper's protagonist, except for BBR
+  itself which meets Cubic),
+- ``adversarial`` -- the protocol under a *replayed trace-adversary link
+  schedule* (bandwidth square-waves at the probing cadence, latency
+  spikes, loss bursts -- the shape the paper's learned adversary
+  converges to, frozen into a seeded schedule so every cell replays the
+  identical attack) while the adversary also controls the cross-traffic:
+  it picks the competing flow's congestion control *and* start time from
+  :data:`ADVERSARIAL_CROSS` x :data:`ADVERSARIAL_STARTS` and the cell
+  reports the worst outcome for the target.
+
+Per cell the matrix reports the paper's Figure-5 metric generalized to
+contention -- the target flow's **capacity fraction** (mean throughput
+over mean link capacity) -- and the **Jain-fairness regret** ``1 -
+jain_fairness(per-flow rates)`` (0 = perfectly fair split).
+
+Every emulator run is one independent task fanned through
+:class:`repro.exec.ParallelMap` and memoized in a
+:class:`repro.exec.ResultCache` under a content key of the full task
+spec, so results are bitwise-independent of the worker count and a
+warm-cache re-run recomputes nothing.  :func:`run_cc_matrix` is the
+entry point; ``repro.cli eval-cc-matrix`` renders the committed
+``results/cc_matrix.txt``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import astuple, dataclass
+
+import numpy as np
+
+from repro.cc.link import TimeVaryingLink
+from repro.cc.multiflow import MultiFlowEmulator, jain_fairness
+from repro.cc.protocols.bbr import BBRSender
+from repro.cc.protocols.copa import CopaSender
+from repro.cc.protocols.cubic import CubicSender
+from repro.cc.protocols.reno import RenoSender
+from repro.cc.protocols.vivace import VivaceSender
+from repro.exec import ResultCache, as_runner, cached_map, make_key
+from repro.obs.metrics import MetricsRecorder, NULL_RECORDER
+
+__all__ = [
+    "MATRIX_TICK_S",
+    "PROTOCOLS",
+    "SCENARIOS",
+    "CcMatrixResult",
+    "MatrixCell",
+    "MatrixTask",
+    "adversarial_schedule",
+    "format_matrix",
+    "run_cc_matrix",
+    "run_matrix_task",
+    "steady_schedule",
+]
+
+PROTOCOLS = {
+    "bbr": BBRSender,
+    "cubic": CubicSender,
+    "reno": RenoSender,
+    "copa": CopaSender,
+    "vivace": VivaceSender,
+}
+
+SCENARIOS = ("solo", "pair-same", "pair-mixed", "adversarial")
+
+#: The adversary's cross-traffic arsenal: which congestion control the
+#: competing flow runs, and when it starts (late joiners catch the target
+#: at its steady-state window).
+ADVERSARIAL_CROSS = ("cubic", "vivace")
+ADVERSARIAL_STARTS = (0.0, 1.5)
+
+#: RTO-check period for matrix cells: 0.1 s would realign with the 30 ms
+#: adversary interval every 300 ms, synchronizing timeout checks with
+#: condition changes; 95 ms pushes the common period out to 5.7 s.
+MATRIX_TICK_S = 0.095
+
+# Steady-cell conditions: the middle of the Table-1 action ranges
+# (bandwidth 6-24 Mbps, latency 15-60 ms, no loss).
+_STEADY_BW_MBPS = 15.0
+_STEADY_LAT_MS = 37.5
+
+# Adversarial schedule ranges (the Table-1 action space the paper's
+# adversary acts in).
+_BW_LOW, _BW_HIGH = 6.0, 24.0
+_LAT_LOW, _LAT_HIGH = 15.0, 60.0
+_LOSS_BURST = 0.02
+
+
+def steady_schedule(n_intervals: int) -> np.ndarray:
+    """``(n, 3)`` array of steady mid-range (bw_mbps, lat_ms, loss)."""
+    schedule = np.empty((n_intervals, 3))
+    schedule[:, 0] = _STEADY_BW_MBPS
+    schedule[:, 1] = _STEADY_LAT_MS
+    schedule[:, 2] = 0.0
+    return schedule
+
+
+def adversarial_schedule(n_intervals: int, seed: int) -> np.ndarray:
+    """A replayed trace-adversary link schedule, ``(n, 3)``.
+
+    The shape the trained CC adversary converges to (section 4, Figure
+    6): bandwidth square-waves between the Table-1 extremes with dwell
+    times of 4-10 intervals (120-300 ms, bracketing BBR's probing
+    cadence), occasional latency spikes to the range top (poisoning
+    RTprop exactly as the paper describes around PROBE_RTT), and short
+    2% loss bursts that starve the loss-based protocols.  Seeded and
+    deterministic: every matrix cell replays the identical schedule, so
+    differences between cells are attributable to the protocols, not the
+    draw.
+    """
+    rng = np.random.default_rng(seed)
+    schedule = np.empty((n_intervals, 3))
+    i = 0
+    high = True
+    while i < n_intervals:
+        dwell = int(rng.integers(4, 11))
+        end = min(i + dwell, n_intervals)
+        schedule[i:end, 0] = _BW_HIGH if high else _BW_LOW
+        # Latency spikes ride on the low-bandwidth phases (the paper's
+        # adversary pairs them); otherwise latency sits at the range floor.
+        spike = (not high) and rng.random() < 0.5
+        schedule[i:end, 1] = _LAT_HIGH if spike else _LAT_LOW
+        schedule[i:end, 2] = _LOSS_BURST if rng.random() < 0.15 else 0.0
+        high = not high
+        i = end
+    return schedule
+
+
+@dataclass(frozen=True)
+class MatrixTask:
+    """One independent emulator run (a cell, or one adversarial variant).
+
+    Frozen and built from primitives only, so it pickles to workers and
+    fingerprints into a cache key without special cases.
+    """
+
+    protocol: str
+    scenario: str
+    flows: tuple[str, ...]
+    start_times: tuple[float, ...]
+    n_intervals: int
+    interval_s: float
+    queue_packets: int
+    tick_s: float
+    seed: int
+    schedule_seed: int
+    adversarial: bool
+
+    def cache_key(self) -> str:
+        return make_key("cc-matrix", astuple(self))
+
+
+@dataclass
+class MatrixCell:
+    """Per-cell outcome; ``flows[0]`` is always the target protocol."""
+
+    protocol: str
+    scenario: str
+    flows: tuple[str, ...]
+    start_times: tuple[float, ...]
+    throughput_mbps: tuple[float, ...]
+    capacity_mbps: float
+    capacity_fraction: float
+    fairness: float
+    fairness_regret: float
+
+
+@dataclass
+class CcMatrixResult:
+    """The full grid plus every adversarial variant that was tried."""
+
+    cells: list[MatrixCell]
+    adversarial_variants: list[MatrixCell]
+
+    def cell(self, protocol: str, scenario: str) -> MatrixCell:
+        for cell in self.cells:
+            if cell.protocol == protocol and cell.scenario == scenario:
+                return cell
+        raise KeyError(f"no cell ({protocol}, {scenario})")
+
+
+def run_matrix_task(task: MatrixTask) -> MatrixCell:
+    """Run one scenario-matrix task on the multi-flow fast path."""
+    senders = [PROTOCOLS[name]() for name in task.flows]
+    schedule = (
+        adversarial_schedule(task.n_intervals, task.schedule_seed)
+        if task.adversarial
+        else steady_schedule(task.n_intervals)
+    )
+    link = TimeVaryingLink(
+        bandwidth_mbps=float(schedule[0, 0]),
+        latency_ms=float(schedule[0, 1]),
+        loss_rate=float(schedule[0, 2]),
+        queue_packets=task.queue_packets,
+    )
+    emulator = MultiFlowEmulator(
+        senders,
+        link,
+        seed=task.seed,
+        tick_s=task.tick_s,
+        start_times=list(task.start_times),
+    )
+    for bw, lat, loss in schedule:
+        emulator.set_conditions(float(bw), float(lat), float(loss))
+        emulator.run_interval(task.interval_s)
+    duration = task.n_intervals * task.interval_s
+    rates = tuple(
+        flow.delivered_bytes_total * 8.0 / duration / 1e6
+        for flow in emulator.flows
+    )
+    capacity = float(schedule[:, 0].mean())
+    fairness = jain_fairness(rates)
+    return MatrixCell(
+        protocol=task.protocol,
+        scenario=task.scenario,
+        flows=task.flows,
+        start_times=task.start_times,
+        throughput_mbps=rates,
+        capacity_mbps=capacity,
+        capacity_fraction=rates[0] / capacity if capacity > 0 else 0.0,
+        fairness=fairness,
+        fairness_regret=1.0 - fairness,
+    )
+
+
+def _mixed_partner(protocol: str) -> str:
+    return "cubic" if protocol == "bbr" else "bbr"
+
+
+def build_tasks(
+    protocols: list[str],
+    n_intervals: int,
+    interval_s: float,
+    queue_packets: int,
+    tick_s: float,
+    seed: int,
+    schedule_seed: int,
+) -> list[MatrixTask]:
+    """The flat, deterministic task list behind the 5 x 4 grid.
+
+    Adversarial cells expand into one task per (cross-CC, start-time)
+    option; :func:`run_cc_matrix` folds them back to the worst case.
+    """
+    common = dict(
+        n_intervals=n_intervals,
+        interval_s=interval_s,
+        queue_packets=queue_packets,
+        tick_s=tick_s,
+        seed=seed,
+        schedule_seed=schedule_seed,
+    )
+    tasks: list[MatrixTask] = []
+    for protocol in protocols:
+        tasks.append(MatrixTask(
+            protocol=protocol, scenario="solo", flows=(protocol,),
+            start_times=(0.0,), adversarial=False, **common,
+        ))
+        tasks.append(MatrixTask(
+            protocol=protocol, scenario="pair-same",
+            flows=(protocol, protocol), start_times=(0.0, 0.0),
+            adversarial=False, **common,
+        ))
+        tasks.append(MatrixTask(
+            protocol=protocol, scenario="pair-mixed",
+            flows=(protocol, _mixed_partner(protocol)),
+            start_times=(0.0, 0.0), adversarial=False, **common,
+        ))
+        for cross in ADVERSARIAL_CROSS:
+            for start in ADVERSARIAL_STARTS:
+                tasks.append(MatrixTask(
+                    protocol=protocol, scenario="adversarial",
+                    flows=(protocol, cross), start_times=(0.0, start),
+                    adversarial=True, **common,
+                ))
+    return tasks
+
+
+def run_cc_matrix(
+    protocols: list[str] | None = None,
+    n_intervals: int = 600,
+    interval_s: float = 0.030,
+    queue_packets: int = 120,
+    tick_s: float = MATRIX_TICK_S,
+    seed: int = 0,
+    schedule_seed: int = 42,
+    workers=None,
+    cache=None,
+    recorder: MetricsRecorder | None = None,
+) -> CcMatrixResult:
+    """Evaluate the scenario matrix; results independent of ``workers``.
+
+    Each task is a fresh-emulator run, so ``workers`` fans them over a
+    :class:`~repro.exec.ParallelMap` (order-preserving: the grid is
+    bitwise-identical at any worker count) and ``cache`` memoizes each
+    cell under a content key of the task spec -- a warm-cache re-run is
+    served entirely from disk.  The adversarial cell reports the variant
+    with the *lowest* target capacity fraction (ties broken by task
+    order, which is deterministic).  ``recorder`` observes per-cell
+    metrics, phase timing and cache counters; it never changes results.
+    """
+    if protocols is None:
+        protocols = list(PROTOCOLS)
+    unknown = [p for p in protocols if p not in PROTOCOLS]
+    if unknown:
+        raise ValueError(f"unknown protocols: {unknown} (have {list(PROTOCOLS)})")
+    recorder = recorder if recorder is not None else NULL_RECORDER
+    cache = ResultCache.resolve(cache)
+    tasks = build_tasks(
+        protocols, n_intervals, interval_s, queue_packets, tick_s,
+        seed, schedule_seed,
+    )
+    keys = [task.cache_key() for task in tasks] if cache is not None else None
+    with as_runner(workers, recorder=recorder) as runner:
+        with recorder.timer("matrix/run_seconds", tasks=len(tasks)):
+            outcomes = cached_map(run_matrix_task, tasks, runner,
+                                  cache=cache, keys=keys)
+    by_task = dict(zip(tasks, outcomes))
+    cells: list[MatrixCell] = []
+    variants: list[MatrixCell] = []
+    for protocol in protocols:
+        for scenario in SCENARIOS:
+            matching = [
+                by_task[t] for t in tasks
+                if t.protocol == protocol and t.scenario == scenario
+            ]
+            if scenario == "adversarial":
+                variants.extend(matching)
+                # The adversary picks its best attack: worst capacity
+                # fraction for the target (first match on ties).
+                cells.append(min(matching, key=lambda c: c.capacity_fraction))
+            else:
+                cells.append(matching[0])
+    for step, cell in enumerate(cells):
+        recorder.record("matrix/capacity_fraction", cell.capacity_fraction,
+                        step=step, protocol=cell.protocol,
+                        scenario=cell.scenario)
+        recorder.record("matrix/fairness_regret", cell.fairness_regret,
+                        step=step, protocol=cell.protocol,
+                        scenario=cell.scenario)
+    if cache is not None:
+        cache.record_metrics(recorder, prefix="matrix_cache/")
+    return CcMatrixResult(cells=cells, adversarial_variants=variants)
+
+
+def format_matrix(result: CcMatrixResult) -> str:
+    """Render the grid as the fixed-width table committed to results/."""
+    lines = [
+        "CC scenario matrix: capacity fraction / Jain fairness regret",
+        "(adversarial = worst replayed-schedule + cross-traffic variant)",
+        "",
+        f"{'protocol':>10s}" + "".join(f"{s:>16s}" for s in SCENARIOS),
+    ]
+    protocols = list(dict.fromkeys(cell.protocol for cell in result.cells))
+    for protocol in protocols:
+        row = f"{protocol:>10s}"
+        for scenario in SCENARIOS:
+            cell = result.cell(protocol, scenario)
+            row += f"{cell.capacity_fraction:>9.2f}/{cell.fairness_regret:<6.3f}"
+        lines.append(row)
+    lines.append("")
+    adv = [c for c in result.cells if c.scenario == "adversarial"]
+    for cell in adv:
+        cross = cell.flows[1] if len(cell.flows) > 1 else "-"
+        lines.append(
+            f"worst attack vs {cell.protocol:>7s}: cross={cross:>7s} "
+            f"start={cell.start_times[1]:.1f}s "
+            f"capacity_fraction={cell.capacity_fraction:.2f} "
+            f"fairness_regret={cell.fairness_regret:.3f}"
+        )
+    return "\n".join(lines) + "\n"

@@ -7,15 +7,53 @@ the bottleneck; this module extends the single-flow emulator to N
 senders sharing the droptail queue, and provides Jain's fairness index
 over their goodputs.
 
-The mechanics mirror :class:`repro.cc.network.PacketNetworkEmulator`:
-per-sender pacing timers and sequence spaces, one shared FIFO served at
-the link rate, Bernoulli loss at ingress, symmetric propagation delay.
+The mechanics mirror :class:`repro.cc.network.PacketNetworkEmulator`,
+and so does the hot-path architecture (the multi-flow port of the PR 2
+fast path): integer event kinds, pre-drawn Bernoulli loss uniforms, a
+dedicated send-timer slot per flow instead of heap-resident send events,
+inlined queue admission with a maintained byte counter, and ``__slots__``
+flow records.  Two deliberate differences from the single-flow fast
+path, both forced by the bit-identity requirement (goldens pinned in
+``tests/test_multiflow_goldens.py`` for all five senders, *not*
+re-pinned):
+
+- *The deliver hop folds conditionally.*  The ack's second leg must be
+  priced at the one-way delay *in force when the packet reaches the
+  receiver*, and the adversarial scenario matrix changes latency every
+  interval; the single-flow emulator folds unconditionally (and
+  re-pinned its goldens for the interval-boundary cases where that moves
+  ack arrival times).  Here a receiver hop landing inside the current
+  ``run_until`` horizon schedules its ack directly at ``+2 x
+  one_way_delay`` -- conditions cannot change mid-window
+  (``set_conditions`` is only called between ``run_interval`` calls), so
+  both legs provably see the same delay and the folded ack time is the
+  identical float.  A hop that crosses the window boundary goes to a
+  *pending-delivers* list instead of the heap; each later ``run_until``
+  converts the entries whose deliver time falls inside its window,
+  pricing the return leg at the delay then in force -- the same float
+  the historical ``deliver`` event read when it popped.  No heap
+  traffic either way.
+- *The event loop is fused.*  ``run_until`` dispatches on the kind int
+  and inlines the send/egress/ack bodies directly, mirroring the hot
+  counters (event counter, loss-block cursor, conservation totals) in
+  locals and syncing them back on exit; per-event attribute traffic is
+  what the handler-table indirection cost at N flows.  Only the rare
+  RTO tick remains a method call.
+
+Event kinds:
+
+- ``SEND``   -- a flow's pacing timer fires; transmit if its cwnd allows
+  (never heap-resident: each flow has a dedicated timer slot),
+- ``EGRESS`` -- the head-of-line packet finishes transmission,
+- ``ACK``    -- the ack reaches the owning sender,
+- ``TICK``   -- periodic per-flow RTO check on a fixed ``tick_s`` grid.
 """
 
 from __future__ import annotations
 
-import heapq
+import math
 from dataclasses import dataclass
+from heapq import heappop, heappush
 
 import numpy as np
 
@@ -27,12 +65,34 @@ __all__ = ["FlowStats", "MultiFlowEmulator", "jain_fairness"]
 
 _TICK_S = 0.1
 
+# Integer event kinds: tuple comparison in the heap and the run_until
+# dispatch both reduce to small-int operations instead of string
+# compares.  SEND never enters the heap (each flow has a dedicated timer
+# slot) and DELIVER never exists as an event (in-window hops fold into
+# the ack, boundary-crossing hops wait in the pending-delivers list).
+_EGRESS, _ACK, _TICK = 0, 1, 2
+
+#: Uniform draws fetched from the generator per block.  Blocks preserve
+#: the exact per-packet draw sequence of the historical one-``random()``-
+#: per-packet implementation: ``Generator.random(n)`` consumes the same
+#: doubles in the same order as ``n`` scalar calls, and the loss-rate
+#: comparison happens at consumption time, so mid-block ``loss_rate``
+#: changes never perturb the stream.
+_LOSS_BLOCK = 4096
+
 
 def jain_fairness(rates) -> float:
-    """Jain's index: (sum x)^2 / (n * sum x^2); 1.0 is perfectly fair."""
+    """Jain's index: (sum x)^2 / (n * sum x^2); 1.0 is perfectly fair.
+
+    Rates must be non-negative -- the index is only meaningful over
+    resource shares, and a negative rate can push it outside (0, 1]
+    silently, so it raises :class:`ValueError` instead.
+    """
     x = np.asarray(list(rates), dtype=float)
     if len(x) == 0:
         raise ValueError("need at least one rate")
+    if np.any(x < 0):
+        raise ValueError(f"rates must be non-negative, got {x[x < 0].tolist()}")
     if np.all(x == 0):
         return 1.0
     return float(x.sum() ** 2 / (len(x) * np.sum(x * x)))
@@ -46,17 +106,74 @@ class FlowStats:
     throughput_mbps: float
 
 
-@dataclass
 class _Flow:
-    sender: Sender
-    next_seq: int = 0
-    send_blocked: bool = False
-    last_progress: float = 0.0
-    delivered_bytes_interval: int = 0
+    """Hot per-flow record; one per sender, touched on every event."""
+
+    __slots__ = (
+        "sender",
+        "ack_fn",
+        "cwnd",
+        "next_seq",
+        "send_blocked",
+        "last_progress",
+        "delivered_bytes_interval",
+        "delivered_bytes_total",
+        "send_t",
+        "send_c",
+    )
+
+    def __init__(self, sender: Sender) -> None:
+        self.sender = sender
+        #: Bound ``handle_ack`` (one descriptor lookup per flow, not per ack).
+        self.ack_fn = sender.handle_ack
+        #: Cached ``sender.cwnd_packets``.  Every protocol's cwnd depends
+        #: only on state mutated inside ``handle_ack``/``handle_timeout``,
+        #: so recomputing the property once after each of those calls is
+        #: exactly the per-check property read the naive loop performed.
+        self.cwnd = sender.cwnd_packets
+        self.next_seq = 0
+        self.send_blocked = False
+        self.last_progress = 0.0
+        self.delivered_bytes_interval = 0
+        #: Cumulative delivered bytes (conservation: these sum to
+        #: ``link.bytes_delivered`` across flows at any event boundary).
+        self.delivered_bytes_total = 0
+        # The pacing timer lives in this dedicated slot instead of the
+        # heap: a flow has at most one pending send at any time (its send
+        # chain is self-perpetuating and parks in ``send_blocked`` when
+        # the window closes), so a (time, counter) pair replaces a heap
+        # push+pop per packet.  The counter preserves the exact FIFO
+        # tie-break order of the historical all-in-one-heap emulator.
+        self.send_t: float | None = None
+        self.send_c = 0
 
 
 class MultiFlowEmulator:
-    """N senders contending for one time-varying bottleneck."""
+    """N senders contending for one time-varying bottleneck.
+
+    Conservation counters (exact at any event boundary, tested in
+    tests/test_cc_multiflow.py)::
+
+        packets_sent == packets_delivered + link.drops_loss
+                        + link.drops_queue + len(link.queue) + acks_in_flight
+
+    where ``packets_delivered`` counts acks handed back to senders and
+    ``acks_in_flight`` counts packets past egress whose deliver/ack legs
+    are still propagating.
+
+    Parameters
+    ----------
+    tick_s:
+        RTO-check period.  The tick grid is fixed at multiples of
+        ``tick_s``; matrix cells pick values that do not alias the 30 ms
+        adversary interval.  Default 0.1 s (the historical constant).
+    start_stagger_s:
+        Flow *i* starts sending at ``i * start_stagger_s``.
+    start_times:
+        Explicit per-flow start times (seconds), overriding the stagger
+        -- this is the knob the adversarial scenario matrix uses for
+        competing-flow start control.
+    """
 
     def __init__(
         self,
@@ -64,111 +181,296 @@ class MultiFlowEmulator:
         link: TimeVaryingLink,
         seed: int = 0,
         start_stagger_s: float = 0.0,
+        tick_s: float = _TICK_S,
+        start_times: list[float] | None = None,
     ) -> None:
         if not senders:
             raise ValueError("need at least one sender")
+        tick_s = float(tick_s)
+        if not math.isfinite(tick_s) or tick_s <= 0:
+            raise ValueError(f"tick_s must be a positive finite float, got {tick_s}")
+        if start_times is not None:
+            if len(start_times) != len(senders):
+                raise ValueError(
+                    f"got {len(start_times)} start times for {len(senders)} senders"
+                )
+            if any(t < 0 for t in start_times):
+                raise ValueError(f"start times must be non-negative: {start_times}")
         self.link = link
         self.rng = np.random.default_rng(seed)
         self.now = 0.0
-        self._events: list[tuple[float, int, str, int, Packet | None]] = []
+        self.tick_s = tick_s
+        self._events: list[tuple[float, int, int, Packet | None]] = []
         self._counter = 0
-        self.flows = [_Flow(sender=s) for s in senders]
-        for index, _flow in enumerate(self.flows):
-            self._schedule(index * start_stagger_s, "send", index, None)
-        self._schedule(_TICK_S, "tick", -1, None)
+        # Packets past egress whose receiver hop crosses the current
+        # window boundary: (deliver_time, counter, packet), converted to
+        # ack events by the run_until window containing deliver_time (see
+        # the module docstring).  The counter is the one the historical
+        # deliver event would have carried; it orders conversions.
+        self._pending_delivers: list[tuple[float, int, Packet]] = []
+        self.flows = [_Flow(s) for s in senders]
+        # Pre-drawn Bernoulli loss uniforms; see _LOSS_BLOCK.
+        self._loss_block: list[float] = self.rng.random(_LOSS_BLOCK).tolist()
+        self._loss_idx = 0
+        # Conservation counters (see class docstring).
+        self.packets_sent = 0
+        self.packets_delivered = 0
+        self.acks_in_flight = 0
+        # Counter assignment order matches the historical implementation:
+        # one send per flow (counters 1..N), then the first tick (N+1).
+        for index, flow in enumerate(self.flows):
+            self._counter += 1
+            flow.send_t = (
+                start_times[index] if start_times is not None
+                else index * start_stagger_s
+            )
+            flow.send_c = self._counter
+        self._counter += 1
+        heappush(self._events, (tick_s, self._counter, _TICK, None))
 
     # -- events ------------------------------------------------------------------
 
-    def _schedule(self, t: float, kind: str, flow: int, packet: Packet | None) -> None:
-        self._counter += 1
-        heapq.heappush(self._events, (t, self._counter, kind, flow, packet))
-
     def run_until(self, t_end: float) -> None:
+        """Process all events up to simulated time ``t_end``.
+
+        The fused hot loop (see the module docstring): interleaves the
+        heap with the per-flow send slots under the same (time, counter)
+        key the heap uses -- so event order is identical to scheduling
+        sends through the heap -- and inlines the send/egress/ack bodies
+        around the dispatch, mirroring the hot counters in locals.
+        """
         if t_end < self.now:
             raise ValueError("cannot run backwards in time")
-        while self._events and self._events[0][0] <= t_end:
-            t, _count, kind, flow_index, packet = heapq.heappop(self._events)
-            self.now = t
-            if kind == "send":
-                self._on_send_timer(flow_index)
-            elif kind == "egress":
-                self._on_egress()
-            elif kind == "deliver":
-                assert packet is not None
-                self._schedule(self.now + self.link.one_way_delay_s, "ack",
-                               flow_index, packet)
-            elif kind == "ack":
-                assert packet is not None
-                self._on_ack(flow_index, packet)
-            elif kind == "tick":
-                self._on_tick()
-        self.now = t_end
-
-    def _on_send_timer(self, flow_index: int) -> None:
-        flow = self.flows[flow_index]
-        if not flow.sender.can_send():
-            flow.send_blocked = True
-            return
-        packet = Packet(
-            seq=flow.next_seq,
-            size_bytes=flow.sender.mss,
-            sent_time=self.now,
-            delivered_at_send=flow.sender.delivered_bytes,
-            delivered_time_at_send=flow.sender.delivered_time,
-        )
-        flow.next_seq += 1
-        flow.sender.register_send(packet)
-        if self.rng.random() >= self.link.loss_rate:
-            if not self.link.queue_full:
-                packet.ingress_time = self.now
-                # Tag the owner flow on the packet for demultiplexing.
-                packet.owner = flow_index
-                self.link.enqueue(packet)
-                if not self.link.busy:
-                    self._start_service()
-            else:
-                self.link.drops_queue += 1
-        else:
-            self.link.drops_loss += 1
-        rate = max(flow.sender.pacing_rate_bps(self.now), 1e3)
-        self._schedule(self.now + flow.sender.mss * 8.0 / rate, "send",
-                       flow_index, None)
-
-    def _start_service(self) -> None:
-        self.link.busy = True
-        head = self.link.queue[0]
-        head.service_start = self.now
-        self._schedule(self.now + self.link.service_time(head), "egress", -1, None)
-
-    def _on_egress(self) -> None:
-        packet = self.link.dequeue()
-        owner = packet.owner
-        self.link.bytes_delivered += packet.size_bytes
-        self.flows[owner].delivered_bytes_interval += packet.size_bytes
-        self._schedule(self.now + self.link.one_way_delay_s, "deliver", owner, packet)
-        if self.link.queue:
-            self._start_service()
-        else:
-            self.link.busy = False
-
-    def _on_ack(self, flow_index: int, packet: Packet) -> None:
-        flow = self.flows[flow_index]
-        flow.sender.handle_ack(packet, self.now)
-        flow.last_progress = self.now
-        if flow.send_blocked and flow.sender.can_send():
-            flow.send_blocked = False
-            self._schedule(self.now, "send", flow_index, None)
-
-    def _on_tick(self) -> None:
-        for index, flow in enumerate(self.flows):
+        link = self.link
+        events = self._events
+        flows = self.flows
+        counter = self._counter
+        pending = self._pending_delivers
+        # Constant for the whole window (set_conditions only runs between
+        # run_interval calls).
+        delay = link.one_way_delay_s
+        loss_rate = link.loss_rate
+        rate_bps = link.rate_bps
+        queue_packets = link.queue_packets
+        queue = link.queue
+        # Convert the pending receiver hops this window reaches: the
+        # return leg is priced at the delay now in force -- the same
+        # float the historical deliver event read when it popped at
+        # deliver_t inside this window.  Sorting on (deliver_t, counter)
+        # reproduces the order those pops would have assigned fresh ack
+        # counters in.  (A delay drop can make a later hop due before an
+        # earlier still-crossing one, so the list is not always sorted.)
+        if pending:
+            due = [e for e in pending if e[0] <= t_end]
+            if due:
+                if len(due) == len(pending):
+                    del pending[:]
+                else:
+                    self._pending_delivers = pending = [
+                        e for e in pending if e[0] > t_end
+                    ]
+                due.sort()
+                for deliver_t, _c, packet in due:
+                    counter += 1
+                    heappush(events, (deliver_t + delay, counter, _ACK, packet))
+        loss_block = self._loss_block
+        loss_idx = self._loss_idx
+        packets_sent = self.packets_sent
+        packets_delivered = self.packets_delivered
+        acks_in_flight = self.acks_in_flight
+        # Link accumulators mirrored in locals (nothing reads them
+        # mid-window; synced back at exit).
+        queue_bytes = link._queue_bytes
+        bytes_delivered = link.bytes_delivered
+        drops_loss = link.drops_loss
+        drops_queue = link.drops_queue
+        # Earliest pending send across the flow slots; rescanned after a
+        # send fires (O(n_flows), N is a handful), compare-updated on the
+        # unblock paths (the waking slot was empty, so the cached min
+        # cannot already point at it).
+        send_t: float | None = None
+        send_c = 0
+        send_i = -1
+        rescan = True
+        while True:
+            if rescan:
+                rescan = False
+                send_t = None
+                for i, fl in enumerate(flows):
+                    t = fl.send_t
+                    if t is not None and (
+                        send_t is None
+                        or t < send_t
+                        or (t == send_t and fl.send_c < send_c)
+                    ):
+                        send_t = t
+                        send_c = fl.send_c
+                        send_i = i
+            if events:
+                head = events[0]
+                head_t = head[0]
+                if send_t is None or head_t < send_t or (
+                    head_t == send_t and head[1] < send_c
+                ):
+                    # -- heap event ------------------------------------
+                    if head_t > t_end:
+                        break
+                    heappop(events)
+                    now = head_t
+                    kind = head[2]
+                    if kind == _ACK:
+                        packet = head[3]
+                        acks_in_flight -= 1
+                        packets_delivered += 1
+                        owner = packet.owner
+                        flow = flows[owner]
+                        flow.ack_fn(packet, now)
+                        sender = flow.sender
+                        flow.cwnd = sender.cwnd_packets
+                        flow.last_progress = now
+                        # can_send() inlined (sole definition lives in
+                        # base.Sender; no subclass overrides it).
+                        if flow.send_blocked and len(sender.inflight) < flow.cwnd:
+                            flow.send_blocked = False
+                            counter += 1
+                            flow.send_t = now
+                            flow.send_c = counter
+                            if send_t is None or now < send_t or (
+                                now == send_t and counter < send_c
+                            ):
+                                send_t = now
+                                send_c = counter
+                                send_i = owner
+                    elif kind == _EGRESS:
+                        # link.dequeue/start-service inlined.
+                        packet = queue.popleft()
+                        size = packet.size_bytes
+                        queue_bytes -= size
+                        bytes_delivered += size
+                        flow = flows[packet.owner]
+                        flow.delivered_bytes_interval += size
+                        flow.delivered_bytes_total += size
+                        acks_in_flight += 1
+                        deliver_t = now + delay
+                        counter += 1
+                        if deliver_t <= t_end:
+                            # In-window receiver hop: fold (both legs see
+                            # the same frozen delay).
+                            heappush(
+                                events, (deliver_t + delay, counter, _ACK, packet)
+                            )
+                        else:
+                            pending.append((deliver_t, counter, packet))
+                        if queue:
+                            nxt = queue[0]
+                            nxt.service_start = now
+                            counter += 1
+                            heappush(
+                                events,
+                                (
+                                    now + nxt.size_bytes * 8.0 / rate_bps,
+                                    counter,
+                                    _EGRESS,
+                                    None,
+                                ),
+                            )
+                        else:
+                            link.busy = False
+                    else:  # _TICK (rare: every tick_s)
+                        self.now = now
+                        self._counter = counter
+                        self._on_tick(None)
+                        counter = self._counter
+                        rescan = True  # the tick may have woken flows
+                    continue
+            if send_t is None or send_t > t_end:
+                break
+            # -- send timer (from the flow slot, never the heap) -------
+            now = send_t
+            flow = flows[send_i]
+            flow.send_t = None
+            rescan = True
             sender = flow.sender
-            if sender.inflight and self.now - flow.last_progress > sender.rto_s():
-                sender.handle_timeout(self.now)
-                flow.last_progress = self.now
+            if len(sender.inflight) >= flow.cwnd:  # can_send() inlined
+                flow.send_blocked = True
+                continue
+            seq = flow.next_seq
+            mss = sender.mss
+            packet = Packet(
+                seq,
+                mss,
+                now,
+                sender.delivered_bytes,
+                sender.delivered_time,
+            )
+            flow.next_seq = seq + 1
+            packets_sent += 1
+            # register_send() inlined (sole definition in base.Sender).
+            sender.inflight[seq] = packet
+            if seq > sender.highest_seq_sent:
+                sender.highest_seq_sent = seq
+            if loss_idx == _LOSS_BLOCK:
+                self._loss_block = loss_block = self.rng.random(_LOSS_BLOCK).tolist()
+                loss_idx = 0
+            u = loss_block[loss_idx]
+            loss_idx += 1
+            if u >= loss_rate:
+                if len(queue) < queue_packets:
+                    packet.ingress_time = now
+                    # Tag the owner flow on the packet for demultiplexing.
+                    packet.owner = send_i
+                    # link.enqueue/start-service inlined.
+                    queue.append(packet)
+                    queue_bytes += mss
+                    if not link.busy:
+                        link.busy = True
+                        packet.service_start = now
+                        counter += 1
+                        heappush(
+                            events,
+                            (
+                                now + mss * 8.0 / rate_bps,
+                                counter,
+                                _EGRESS,
+                                None,
+                            ),
+                        )
+                else:
+                    drops_queue += 1
+            else:
+                drops_loss += 1
+            rate = sender.pacing_rate_bps(now)
+            if rate < 1e3:
+                rate = 1e3
+            counter += 1
+            flow.send_t = now + mss * 8.0 / rate
+            flow.send_c = counter
+        self.now = t_end
+        self._counter = counter
+        self._loss_idx = loss_idx
+        self.packets_sent = packets_sent
+        self.packets_delivered = packets_delivered
+        self.acks_in_flight = acks_in_flight
+        link._queue_bytes = queue_bytes
+        link.bytes_delivered = bytes_delivered
+        link.drops_loss = drops_loss
+        link.drops_queue = drops_queue
+
+    def _on_tick(self, _packet: Packet | None) -> None:
+        now = self.now
+        for flow in self.flows:
+            sender = flow.sender
+            if sender.inflight and now - flow.last_progress > sender.rto_s():
+                sender.handle_timeout(now)
+                flow.cwnd = sender.cwnd_packets
+                flow.last_progress = now
                 if flow.send_blocked:
                     flow.send_blocked = False
-                    self._schedule(self.now, "send", index, None)
-        self._schedule(self.now + _TICK_S, "tick", -1, None)
+                    self._counter += 1
+                    flow.send_t = now
+                    flow.send_c = self._counter
+        self._counter += 1
+        heappush(self._events, (now + self.tick_s, self._counter, _TICK, None))
 
     # -- controller API ---------------------------------------------------------------
 

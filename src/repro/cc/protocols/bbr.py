@@ -167,6 +167,13 @@ class BBRSender(Sender):
     # -- Sender hooks -----------------------------------------------------------
 
     def on_ack(self, ack: AckInfo) -> None:
+        # Hot path (one call per delivered packet): the bodies of
+        # ``_update_filters`` and ``_update_state`` inlined with local
+        # lookups, in the same operation order -- identical floats (the
+        # CC and multi-flow goldens pin this).  The standalone methods
+        # remain the reference implementation (tests and the timeout
+        # path use them).
+        #
         # Round accounting first (a bw sample is stamped with the round it
         # arrived in): the acked packet left after the previous round's
         # marker was delivered, so a new round begins.  ``delivered_bytes``
@@ -175,8 +182,57 @@ class BBRSender(Sender):
         if ack.delivered_at_send >= self._next_round_delivered:
             self.round_count += 1
             self._next_round_delivered = ack.delivered_bytes
-        self._update_filters(ack)
-        self._update_state(ack.now)
+
+        # -- _update_filters, inlined --
+        rate = ack.delivery_rate_bps
+        if rate > 0:
+            samples = self._bw_samples
+            while samples and samples[-1][1] <= rate:
+                samples.pop()
+            samples.append((self.round_count, rate))
+            cutoff = self.round_count - self.bw_window_rounds
+            while samples and samples[0][0] < cutoff:
+                samples.popleft()
+        now = ack.now
+        min_rtt = self._min_rtt_s
+        expired = min_rtt is not None and now - self._rtprop_stamp > self.rtprop_window_s
+        self._rtprop_expired = expired
+        if min_rtt is None or ack.rtt_s < min_rtt or expired:
+            self._min_rtt_s = ack.rtt_s
+            self._rtprop_stamp = now
+
+        # -- _update_state, inlined (mode mirrored in a local) --
+        mode = self.mode
+        if mode == self.STARTUP:
+            self._check_full_pipe()
+            if self.filled_pipe:
+                self._set_mode(self.DRAIN, now)
+                mode = self.DRAIN
+        if mode == self.DRAIN and len(self.inflight) <= self._bdp_packets():
+            self._set_mode(self.PROBE_BW, now)
+            mode = self.PROBE_BW
+            self.cycle_index = 0
+            self._cycle_start = now
+        if mode == self.PROBE_BW:
+            rtprop = self._min_rtt_s or 0.05
+            if now - self._cycle_start > rtprop:
+                self.cycle_index = (self.cycle_index + 1) % len(self.CYCLE_GAINS)
+                self._cycle_start = now
+        if expired and mode != self.PROBE_RTT:
+            self._rtprop_expired = False
+            self._set_mode(self.PROBE_RTT, now)
+            mode = self.PROBE_RTT
+            self._probe_rtt_done = now + self.probe_rtt_duration_s
+        if mode == self.PROBE_RTT and self._probe_rtt_done is not None:
+            if now >= self._probe_rtt_done:
+                self._rtprop_stamp = now
+                self._probe_rtt_done = None
+                if self.filled_pipe:
+                    self._set_mode(self.PROBE_BW, now)
+                    self.cycle_index = 0
+                    self._cycle_start = now
+                else:
+                    self._set_mode(self.STARTUP, now)
 
     def on_packet_lost(self, seq: int, now: float) -> None:
         # BBRv1's rate control disregards individual losses.

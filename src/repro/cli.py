@@ -8,6 +8,8 @@ Usage examples::
     python -m repro.cli train-cc-adversary --steps 150000 \
         --traces-out anti_bbr.jsonl --n-traces 5
     python -m repro.cli evaluate-cc --traces anti_bbr.jsonl --sender bbr
+    python -m repro.cli eval-cc-matrix --workers 4 --cache-dir .cache/matrix \
+        --out results/cc_matrix.txt
     python -m repro.cli attack-abr --attack pgd --eps 0.05 --pgd-steps 10 \
         --verify --summary-out attack.json
     python -m repro.cli make-dataset --kind 3g --count 50 --out corpus.jsonl
@@ -43,9 +45,12 @@ from repro.adversary.cc_env import train_cc_adversary
 from repro.adversary.generation import generate_abr_traces, generate_cc_traces
 from repro.analysis import format_table
 from repro.cc import BBRSender, CubicSender, RenoSender
+from repro.cc.matrix import PROTOCOLS as MATRIX_PROTOCOLS
+from repro.cc.matrix import format_matrix
 from repro.cc.metrics import run_sender_on_traces
 from repro.exec import ResultCache, resolve_workers
 from repro.experiments.abr_suite import evaluate_protocols
+from repro.experiments.cc_suite import run_cc_scenario_matrix
 from repro.obs import (
     Console,
     LOG_DIR_ENV,
@@ -245,6 +250,29 @@ def _cmd_evaluate_cc(args: argparse.Namespace) -> int:
         console.out(
             format_table(["trace", "throughput (Mbps)", "capacity fraction"], rows)
         )
+        _report_exec(cache, args.workers, recorder, console)
+    return 0
+
+
+def _cmd_eval_cc_matrix(args: argparse.Namespace) -> int:
+    with _run_context(args) as (recorder, console):
+        cache = _resolve_cache(args)
+        with recorder.timer("cli/eval_cc_matrix_seconds"):
+            result = run_cc_scenario_matrix(
+                protocols=args.protocols or None,
+                n_intervals=args.intervals,
+                seed=args.seed,
+                schedule_seed=args.schedule_seed,
+                workers=args.workers,
+                cache=cache if cache is not None else False,
+                recorder=recorder,
+            )
+        text = format_matrix(result)
+        console.out(text)
+        if args.out:
+            with open(args.out, "w") as fh:
+                fh.write(text)
+            console.info(f"wrote {args.out}")
         _report_exec(cache, args.workers, recorder, console)
     return 0
 
@@ -598,6 +626,27 @@ def build_parser() -> argparse.ArgumentParser:
     _add_exec_args(p)
     _add_obs_args(p)
     p.set_defaults(func=_cmd_evaluate_cc)
+
+    p = sub.add_parser(
+        "eval-cc-matrix",
+        help="run the 5x4 contention scenario matrix on the multi-flow "
+             "emulator",
+    )
+    p.add_argument("--protocols", nargs="*", choices=sorted(MATRIX_PROTOCOLS),
+                   default=None,
+                   help="subset of protocols (default: all five)")
+    p.add_argument("--intervals", type=int, default=600,
+                   help="30 ms adversary intervals per cell (default 600 = 18 s)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="emulator loss-process seed")
+    p.add_argument("--schedule-seed", type=int, default=42,
+                   help="seed of the replayed adversarial link schedule")
+    p.add_argument("--out", default=None,
+                   help="also write the table to this file "
+                        "(e.g. results/cc_matrix.txt)")
+    _add_exec_args(p)
+    _add_obs_args(p)
+    p.set_defaults(func=_cmd_eval_cc_matrix)
 
     p = sub.add_parser("regression-build",
                        help="record adversarial worst cases as a CI suite")

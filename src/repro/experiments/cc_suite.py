@@ -12,13 +12,18 @@ from repro.adversary.generation import (
     generate_cc_traces,
     rollout_cc_adversary,
 )
+from repro.cc.matrix import CcMatrixResult, run_cc_matrix
 from repro.cc.metrics import CcRunResult, run_sender_on_traces
 from repro.cc.protocols.bbr import BBRSender
 from repro.exec import ParallelMap, ResultCache, as_runner
 from repro.obs.metrics import MetricsRecorder, NULL_RECORDER
 from repro.rl.ppo import PPO
 
-__all__ = ["BbrAdversarialExperiment", "run_bbr_adversarial_experiment"]
+__all__ = [
+    "BbrAdversarialExperiment",
+    "run_bbr_adversarial_experiment",
+    "run_cc_scenario_matrix",
+]
 
 
 @dataclass
@@ -110,4 +115,32 @@ def run_bbr_adversarial_experiment(
         deterministic_probe_times_s=probe_times,
         fig5_throughput_mbps=throughput,
         fig5_bandwidth_mbps=bandwidth,
+    )
+
+
+def run_cc_scenario_matrix(
+    protocols: list[str] | None = None,
+    n_intervals: int = 600,
+    seed: int = 0,
+    schedule_seed: int = 42,
+    workers: "int | ParallelMap | None" = None,
+    cache: "ResultCache | str | bool | None" = None,
+    recorder: MetricsRecorder | None = None,
+) -> CcMatrixResult:
+    """The suite entry point for the 5 x 4 contention scenario matrix.
+
+    Thin wrapper over :func:`repro.cc.matrix.run_cc_matrix` with suite
+    defaults, so experiment scripts drive the matrix with the same
+    ``workers``/``cache``/``recorder`` plumbing as
+    :func:`run_bbr_adversarial_experiment` (and can share one
+    :class:`~repro.exec.ParallelMap` across both).
+    """
+    return run_cc_matrix(
+        protocols=protocols,
+        n_intervals=n_intervals,
+        seed=seed,
+        schedule_seed=schedule_seed,
+        workers=workers,
+        cache=cache,
+        recorder=recorder,
     )

@@ -1,0 +1,28 @@
+"""One-off golden capture for the multi-flow emulator (not a test).
+
+Run against a known-good :class:`repro.cc.multiflow.MultiFlowEmulator`
+to print the digests pinned in ``tests/test_multiflow_goldens.py``:
+
+    PYTHONPATH=src python tests/_capture_multiflow_goldens.py
+
+The digests in the repo were captured from the pre-fast-path
+implementation immediately before the fast-path rewrite; the rewrite
+reproduces them bit for bit.
+"""
+
+import sys
+
+sys.path.insert(0, "tests")
+
+from test_multiflow_goldens import SCENARIOS, run_scenario  # noqa: E402
+
+
+def main() -> None:
+    print("GOLDEN_DIGESTS = {")
+    for name in SCENARIOS:
+        print(f'    "{name}": "{run_scenario(name)}",')
+    print("}")
+
+
+if __name__ == "__main__":
+    main()

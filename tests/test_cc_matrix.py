@@ -1,0 +1,163 @@
+"""Tests for the adversarial scenario matrix (repro.cc.matrix)."""
+
+import numpy as np
+import pytest
+
+from repro.cc.matrix import (
+    ADVERSARIAL_CROSS,
+    ADVERSARIAL_STARTS,
+    MATRIX_TICK_S,
+    PROTOCOLS,
+    SCENARIOS,
+    MatrixTask,
+    adversarial_schedule,
+    build_tasks,
+    format_matrix,
+    run_cc_matrix,
+    run_matrix_task,
+    steady_schedule,
+)
+from repro.exec import ResultCache
+from repro.obs.metrics import MetricsRecorder
+
+# Small enough to keep the full-grid tests fast, long enough that every
+# protocol delivers traffic and the adversarial variants diverge.
+FAST = dict(n_intervals=60, seed=0, schedule_seed=42)
+
+
+def cells_as_tuples(result):
+    return [
+        (c.protocol, c.scenario, c.flows, c.start_times, c.throughput_mbps,
+         c.capacity_mbps, c.capacity_fraction, c.fairness, c.fairness_regret)
+        for c in result.cells
+    ]
+
+
+class TestSchedules:
+    def test_steady_shape_and_values(self):
+        schedule = steady_schedule(50)
+        assert schedule.shape == (50, 3)
+        assert np.all(schedule[:, 0] == 15.0)
+        assert np.all(schedule[:, 2] == 0.0)
+
+    def test_adversarial_shape_and_ranges(self):
+        schedule = adversarial_schedule(200, seed=42)
+        assert schedule.shape == (200, 3)
+        assert set(np.unique(schedule[:, 0])) == {6.0, 24.0}
+        assert set(np.unique(schedule[:, 1])) <= {15.0, 60.0}
+        assert set(np.unique(schedule[:, 2])) <= {0.0, 0.02}
+
+    def test_adversarial_deterministic_in_seed(self):
+        a = adversarial_schedule(150, seed=7)
+        b = adversarial_schedule(150, seed=7)
+        c = adversarial_schedule(150, seed=8)
+        assert np.array_equal(a, b)
+        assert not np.array_equal(a, c)
+
+    def test_adversarial_square_wave_dwells(self):
+        schedule = adversarial_schedule(300, seed=42)
+        bw = schedule[:, 0]
+        edges = np.flatnonzero(np.diff(bw) != 0)
+        dwells = np.diff(np.concatenate(([0], edges + 1)))
+        assert len(edges) > 10  # it actually oscillates
+        assert dwells.min() >= 4 and dwells.max() <= 10
+
+
+class TestTaskGrid:
+    def test_task_count_and_expansion(self):
+        tasks = build_tasks(list(PROTOCOLS), 60, 0.03, 120,
+                            MATRIX_TICK_S, 0, 42)
+        # 3 plain scenarios + |cross| x |starts| adversarial variants each.
+        per_protocol = 3 + len(ADVERSARIAL_CROSS) * len(ADVERSARIAL_STARTS)
+        assert len(tasks) == len(PROTOCOLS) * per_protocol
+        adv = [t for t in tasks if t.scenario == "adversarial"]
+        assert all(t.adversarial for t in adv)
+        assert all(t.flows[0] == t.protocol for t in tasks)
+
+    def test_cache_keys_unique_and_stable(self):
+        tasks = build_tasks(list(PROTOCOLS), 60, 0.03, 120,
+                            MATRIX_TICK_S, 0, 42)
+        keys = [t.cache_key() for t in tasks]
+        assert len(set(keys)) == len(keys)
+        assert keys == [t.cache_key() for t in tasks]  # pure in the task
+
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(ValueError, match="unknown protocols"):
+            run_cc_matrix(protocols=["bbr", "tahoe"], **FAST)
+
+
+class TestMatrixRun:
+    def test_grid_shape(self):
+        result = run_cc_matrix(**FAST)
+        assert len(result.cells) == len(PROTOCOLS) * len(SCENARIOS)
+        pairs = {(c.protocol, c.scenario) for c in result.cells}
+        assert pairs == {(p, s) for p in PROTOCOLS for s in SCENARIOS}
+        assert len(result.adversarial_variants) == len(PROTOCOLS) * 4
+        for cell in result.cells:
+            assert cell.capacity_fraction >= 0.0
+            assert 0.0 <= cell.fairness_regret <= 1.0
+            assert len(cell.throughput_mbps) == len(cell.flows)
+
+    def test_worker_count_independence(self):
+        serial = run_cc_matrix(protocols=["bbr", "vivace"], **FAST)
+        pooled = run_cc_matrix(protocols=["bbr", "vivace"], workers=2, **FAST)
+        assert cells_as_tuples(serial) == cells_as_tuples(pooled)
+
+    def test_warm_cache_rerun_served_from_cache(self, tmp_path):
+        cache = ResultCache(tmp_path / "matrix")
+        cold = run_cc_matrix(protocols=["bbr"], cache=cache, **FAST)
+        n_tasks = 3 + len(ADVERSARIAL_CROSS) * len(ADVERSARIAL_STARTS)
+        assert cache.misses == n_tasks and cache.hits == 0
+        warm = run_cc_matrix(protocols=["bbr"], cache=cache, **FAST)
+        assert cache.hits == n_tasks  # every task served from disk
+        assert cells_as_tuples(cold) == cells_as_tuples(warm)
+
+    def test_adversarial_cell_is_worst_variant(self):
+        result = run_cc_matrix(protocols=["bbr"], **FAST)
+        cell = result.cell("bbr", "adversarial")
+        fractions = [v.capacity_fraction for v in result.adversarial_variants]
+        assert cell.capacity_fraction == min(fractions)
+        assert cell.flows[1] in ADVERSARIAL_CROSS
+        assert cell.start_times[1] in ADVERSARIAL_STARTS
+
+    def test_solo_beats_adversarial(self):
+        result = run_cc_matrix(protocols=["bbr"], n_intervals=200,
+                               seed=0, schedule_seed=42)
+        solo = result.cell("bbr", "solo")
+        adv = result.cell("bbr", "adversarial")
+        assert solo.capacity_fraction > adv.capacity_fraction
+
+    def test_single_task_direct(self):
+        task = MatrixTask(
+            protocol="cubic", scenario="pair-same",
+            flows=("cubic", "cubic"), start_times=(0.0, 0.0),
+            n_intervals=60, interval_s=0.03, queue_packets=120,
+            tick_s=MATRIX_TICK_S, seed=0, schedule_seed=42,
+            adversarial=False,
+        )
+        cell = run_matrix_task(task)
+        assert cell.capacity_mbps == 15.0
+        assert cell.throughput_mbps[0] > 0.0
+        assert abs(cell.fairness + cell.fairness_regret - 1.0) < 1e-12
+
+    def test_recorder_observes_cells(self):
+        recorder = MetricsRecorder()
+        run_cc_matrix(protocols=["reno"], recorder=recorder, **FAST)
+        assert "matrix/capacity_fraction" in recorder.series
+        assert "matrix/fairness_regret" in recorder.series
+        # One sample per grid cell for the lone protocol.
+        assert len(recorder.series["matrix/capacity_fraction"]) == len(SCENARIOS)
+
+
+class TestFormat:
+    def test_format_matrix_table(self):
+        result = run_cc_matrix(protocols=["bbr", "copa"], **FAST)
+        text = format_matrix(result)
+        lines = text.splitlines()
+        assert "capacity fraction" in lines[0]
+        header = lines[3]
+        for scenario in SCENARIOS:
+            assert scenario in header
+        assert any(line.lstrip().startswith("bbr") for line in lines)
+        assert sum("worst attack vs" in line for line in lines) == 2
+        assert text.endswith("\n")

@@ -106,3 +106,97 @@ class TestFairnessOutcomes:
         )
         bbr_rate, cubic_rate = stats[0].throughput_mbps, stats[1].throughput_mbps
         assert bbr_rate > 3.0 * cubic_rate
+
+
+class TestJainValidation:
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            jain_fairness([5.0, -1.0])
+
+    def test_negative_rate_message_names_offenders(self):
+        with pytest.raises(ValueError, match=r"-2\.0"):
+            jain_fairness([1.0, -2.0, 3.0])
+
+
+class TestTickParameter:
+    def test_default_tick_preserved(self):
+        emulator = MultiFlowEmulator([CubicSender()], TimeVaryingLink(10.0, 40.0))
+        assert emulator.tick_s == 0.1
+
+    @pytest.mark.parametrize("bad", [0.0, -0.5, float("nan"), float("inf")])
+    def test_invalid_tick_rejected(self, bad):
+        with pytest.raises(ValueError, match="tick_s"):
+            MultiFlowEmulator(
+                [CubicSender()], TimeVaryingLink(10.0, 40.0), tick_s=bad
+            )
+
+    def test_custom_tick_runs(self):
+        link = TimeVaryingLink(10.0, 40.0)
+        emulator = MultiFlowEmulator([CubicSender()], link, tick_s=0.095)
+        stats = emulator.run_interval(2.0)
+        assert stats[0].bytes_delivered > 0
+
+    def test_start_times_validation(self):
+        link = TimeVaryingLink(10.0, 40.0)
+        with pytest.raises(ValueError, match="start times"):
+            MultiFlowEmulator([CubicSender()], link, start_times=[0.0, 1.0])
+        with pytest.raises(ValueError, match="non-negative"):
+            MultiFlowEmulator([CubicSender()], link, start_times=[-1.0])
+
+
+class TestConservation:
+    """Multi-flow analogues of the PR 2 single-flow conservation layer."""
+
+    def _run(self, senders, seed=0, loss=0.0, queue_packets=120):
+        link = TimeVaryingLink(14.0, 30.0, loss_rate=loss,
+                               queue_packets=queue_packets)
+        emulator = MultiFlowEmulator(senders, link, seed=seed,
+                                     start_stagger_s=0.1)
+        sched = np.random.default_rng(23).random((120, 3))
+        for bw_u, lat_u, loss_u in sched:
+            emulator.set_conditions(
+                6.0 + 18.0 * bw_u, 15.0 + 45.0 * lat_u,
+                min(loss + 0.01 * loss_u, 1.0),
+            )
+            emulator.run_interval(0.03)
+        return emulator, link
+
+    def test_per_flow_delivery_sums_to_link_total(self):
+        emulator, link = self._run(
+            [BBRSender(), CubicSender(), RenoSender()], loss=0.005
+        )
+        assert sum(f.delivered_bytes_total for f in emulator.flows) == \
+            link.bytes_delivered
+
+    def test_packet_conservation_identity(self):
+        emulator, link = self._run([BBRSender(), CubicSender()], loss=0.01,
+                                   queue_packets=30)
+        assert emulator.packets_sent == (
+            emulator.packets_delivered + link.drops_loss + link.drops_queue
+            + len(link.queue) + emulator.acks_in_flight
+        )
+
+    def test_delivery_bounded_by_capacity(self):
+        # Conditions swing 6-24 Mbps; delivered bytes can never exceed
+        # the maximum capacity integrated over the run.
+        emulator, link = self._run([BBRSender(), CubicSender()])
+        duration = emulator.now
+        assert link.bytes_delivered <= 24e6 / 8.0 * duration * 1.01
+
+    def test_identical_seeds_identical_outcomes(self):
+        a_emulator, a_link = self._run([BBRSender(), CubicSender()],
+                                       seed=7, loss=0.01)
+        b_emulator, b_link = self._run([BBRSender(), CubicSender()],
+                                       seed=7, loss=0.01)
+        assert [f.delivered_bytes_total for f in a_emulator.flows] == \
+            [f.delivered_bytes_total for f in b_emulator.flows]
+        assert (a_link.bytes_delivered, a_link.drops_loss, a_link.drops_queue) \
+            == (b_link.bytes_delivered, b_link.drops_loss, b_link.drops_queue)
+
+    def test_different_seeds_diverge_under_loss(self):
+        a_emulator, _ = self._run([BBRSender(), CubicSender()], seed=1,
+                                  loss=0.02)
+        b_emulator, _ = self._run([BBRSender(), CubicSender()], seed=2,
+                                  loss=0.02)
+        assert [f.delivered_bytes_total for f in a_emulator.flows] != \
+            [f.delivered_bytes_total for f in b_emulator.flows]
